@@ -1,0 +1,1 @@
+"""Experiment-reproduction benchmarks (one module per paper table/figure)."""

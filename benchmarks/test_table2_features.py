@@ -1,0 +1,52 @@
+"""Table 2: per-feature correlation with the endpoint arrival-time label."""
+
+import numpy as np
+
+from benchmarks.conftest import print_table
+from repro.core.features import PATH_FEATURE_NAMES, combine_path_datasets, extract_path_dataset
+from repro.core.metrics import pearson_r
+from repro.core.sampling import SamplingConfig
+
+
+#: The features reported in Table 2 of the paper, mapped to our feature names.
+TABLE2_FEATURES = [
+    ("Rank level / % of the endpoint rank", "design_rank_percent"),
+    ("# sequential cells", "design_n_sequential"),
+    ("# combinational cells", "design_n_combinational"),
+    ("# total cells", "design_n_total"),
+    ("# driving reg of input cone", "cone_n_driving_regs"),
+    ("Arrival time by STA on R", "path_pseudo_arrival"),
+    ("# of level of the timing path", "path_n_levels"),
+    ("# of operators", "path_n_operators"),
+    ("Fanout", "path_fanout_avg"),
+    ("Load capacitance", "path_load_avg"),
+    ("Slew", "path_slew_avg"),
+]
+
+
+def test_table2_feature_correlations(dataset_records, benchmark):
+    datasets = [
+        extract_path_dataset(record, "sog", SamplingConfig(use_sampling=False))
+        for record in dataset_records
+    ]
+    combined = combine_path_datasets(datasets)
+    labels = combined.endpoint_labels[combined.groups]
+
+    def compute():
+        rows = []
+        for paper_name, feature in TABLE2_FEATURES:
+            column = combined.features[:, PATH_FEATURE_NAMES.index(feature)]
+            rows.append((paper_name, abs(pearson_r(labels, column))))
+        return rows
+
+    rows = benchmark(compute)
+    print_table(
+        "Table 2: feature correlation with endpoint arrival label (|R|)",
+        ["Feature", "|R|"],
+        [[name, f"{value:.2f}"] for name, value in rows],
+    )
+    # Shape check: path-level structural features carry real signal.
+    by_name = dict(rows)
+    assert by_name["# of level of the timing path"] > 0.3
+    assert by_name["# of operators"] > 0.3
+    assert by_name["Arrival time by STA on R"] > 0.3

@@ -1,0 +1,79 @@
+"""Prediction-driven synthesis optimization (group_path + retime).
+
+Mirrors the paper's second application (Section 3.5.2 and Table 6): the
+predicted signal criticality ranking of an unseen design drives the
+``group_path`` and ``retime`` options of the synthesis flow.  The script then
+runs placement on both netlists to show that the timing gains persist through
+the physical stage (Section 4.4).
+
+Run with:  python examples/optimize_synthesis.py
+"""
+
+from repro.core import (
+    BitwiseConfig,
+    OverallConfig,
+    RTLTimer,
+    RTLTimerConfig,
+    SignalwiseConfig,
+    build_dataset,
+    run_optimization_experiment,
+)
+from repro.hdl.generate import BENCHMARK_SPECS
+from repro.physical import place_and_optimize
+
+TARGET_DESIGN = "b18_1"
+
+
+def main() -> None:
+    specs = list(BENCHMARK_SPECS)
+    target_spec = next(s for s in specs if s.name == TARGET_DESIGN)
+    train_specs = [s for s in specs if s.name != TARGET_DESIGN][:10]
+
+    print(f"Building dataset and training RTL-Timer (target: {TARGET_DESIGN})...")
+    train_records = build_dataset(train_specs)
+    record = build_dataset([target_spec])[0]
+    config = RTLTimerConfig(
+        bitwise=BitwiseConfig(n_estimators=40, max_depth=5, max_train_endpoints_per_design=120),
+        signalwise=SignalwiseConfig(n_estimators=40, ranker_estimators=60),
+        overall=OverallConfig(n_estimators=30),
+    )
+    timer = RTLTimer(config).fit(train_records)
+
+    print("Predicting signal criticality ranking and building synthesis options...")
+    prediction = timer.predict(record)
+    ranked = prediction.ranked_signals()
+    print(f"  top-5 predicted critical signals: {ranked[:5]}")
+
+    print("Running default vs prediction-driven synthesis...")
+    outcome = run_optimization_experiment(record, ranked, ranking_source="predicted")
+
+    def describe(result, label):
+        qor = result.qor
+        print(
+            f"  {label:12s} WNS {qor.wns:8.1f}  TNS {qor.tns:9.1f}  "
+            f"power {qor.total_power:7.1f}  area {qor.area:8.1f}"
+        )
+
+    describe(outcome.default, "default")
+    describe(outcome.optimized, "optimized")
+    print(
+        f"  change: WNS {outcome.wns_change_pct:+.1f}%  TNS {outcome.tns_change_pct:+.1f}%  "
+        f"power {outcome.power_change_pct:+.1f}%  area {outcome.area_change_pct:+.1f}%"
+    )
+
+    print("\nRunning placement + post-placement optimization on both netlists...")
+    default_place = place_and_optimize(outcome.default.netlist, record.clock, seed=3)
+    optimized_place = place_and_optimize(outcome.optimized.netlist, record.clock, seed=3)
+    print(
+        "  after placement + post-opt:  default TNS "
+        f"{default_place.post_optimization.tns:9.1f}   optimized TNS "
+        f"{optimized_place.post_optimization.tns:9.1f}"
+    )
+    if abs(optimized_place.post_optimization.tns) <= abs(default_place.post_optimization.tns):
+        print("  => the synthesis-stage gain persists after placement.")
+    else:
+        print("  => this seed is a non-optimized case (the paper reports those too).")
+
+
+if __name__ == "__main__":
+    main()

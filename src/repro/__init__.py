@@ -1,0 +1,35 @@
+"""RTL-Timer reproduction: fine-grained RTL timing evaluation for early optimization.
+
+A from-scratch, pure-Python reproduction of "Annotating Slack Directly on
+Your Verilog: Fine-Grained RTL Timing Evaluation for Early Optimization"
+(DAC 2024), including every substrate the paper relies on: a Verilog front
+end, bit-level Boolean operator graph representations, a liberty-like cell
+library, logic synthesis, static timing analysis, placement, and the ML
+models (boosted trees, MLP, transformer, LambdaMART, GNN) implemented on
+numpy.
+
+Public entry points:
+
+* :class:`repro.core.RTLTimer` -- the fine-grained timing estimator,
+* :func:`repro.core.build_dataset` -- benchmark suite + label generation,
+* :func:`repro.core.run_optimization_experiment` -- prediction-driven
+  ``group_path`` / ``retime`` synthesis optimization,
+* :mod:`repro.hdl`, :mod:`repro.bog`, :mod:`repro.synth`, :mod:`repro.sta`,
+  :mod:`repro.physical`, :mod:`repro.ml` -- the substrates.
+"""
+
+from repro.core.pipeline import RTLTimer, RTLTimerConfig, RTLTimerPrediction
+from repro.core.dataset import DatasetConfig, DesignRecord, build_dataset, build_design_record
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "RTLTimer",
+    "RTLTimerConfig",
+    "RTLTimerPrediction",
+    "DatasetConfig",
+    "DesignRecord",
+    "build_dataset",
+    "build_design_record",
+    "__version__",
+]

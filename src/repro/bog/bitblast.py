@@ -1,0 +1,330 @@
+"""Bit-blasting of word-level RTL expressions into BOG nodes.
+
+This is the machinery behind :func:`repro.bog.builder.build_sog`: every
+word-level operator of the supported Verilog subset is lowered into a vector
+of single-bit Boolean operator nodes (AND/OR/XOR/NOT/MUX), mirroring how a
+logic synthesis front end decomposes RTL operators into gate networks.
+
+Conventions
+-----------
+* A word value is represented as a list of node ids, index 0 being the least
+  significant bit.
+* All arithmetic is unsigned; operands are zero-extended to a common width
+  before an operator is applied (matching the self-determined/context width
+  rules closely enough for the supported subset).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.bog.graph import BOG
+from repro.hdl.ast_nodes import (
+    BinaryOp,
+    BitSelect,
+    Concat,
+    Expression,
+    Identifier,
+    Number,
+    PartSelect,
+    Repeat,
+    Ternary,
+    UnaryOp,
+)
+from repro.hdl.design import AnalysisError, Design
+
+Bits = List[int]
+
+
+class BitBlaster:
+    """Lowers word-level expressions into BOG node vectors.
+
+    ``signal_bits`` maps a signal name to its bit vector (LSB first); the
+    builder populates it with primary input bits, register output bits and
+    already-elaborated wire bits before expressions referencing them are
+    blasted.
+    """
+
+    def __init__(self, bog: BOG, design: Design, signal_bits: Dict[str, Bits]):
+        self.bog = bog
+        self.design = design
+        self.signal_bits = signal_bits
+
+    # -- public -------------------------------------------------------------
+
+    def blast(self, expr: Expression, width: int) -> Bits:
+        """Lower ``expr`` and coerce the result to exactly ``width`` bits."""
+        bits = self._expr(expr)
+        return self.coerce(bits, width)
+
+    def coerce(self, bits: Bits, width: int) -> Bits:
+        """Zero-extend or truncate ``bits`` to ``width``."""
+        if len(bits) >= width:
+            return bits[:width]
+        return bits + [self.bog.const0()] * (width - len(bits))
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _expr(self, expr: Expression) -> Bits:
+        if isinstance(expr, Identifier):
+            return self._identifier(expr)
+        if isinstance(expr, Number):
+            return self._number(expr)
+        if isinstance(expr, BitSelect):
+            return self._bit_select(expr)
+        if isinstance(expr, PartSelect):
+            return self._part_select(expr)
+        if isinstance(expr, Concat):
+            return self._concat(expr)
+        if isinstance(expr, Repeat):
+            return self._repeat(expr)
+        if isinstance(expr, UnaryOp):
+            return self._unary(expr)
+        if isinstance(expr, BinaryOp):
+            return self._binary(expr)
+        if isinstance(expr, Ternary):
+            return self._ternary(expr)
+        raise AnalysisError(f"cannot bit-blast expression {expr!r}")
+
+    # -- leaves -------------------------------------------------------------
+
+    def _identifier(self, expr: Identifier) -> Bits:
+        try:
+            return list(self.signal_bits[expr.name])
+        except KeyError as exc:
+            raise AnalysisError(
+                f"signal {expr.name!r} used before its bits were elaborated"
+            ) from exc
+
+    def _number(self, expr: Number) -> Bits:
+        width = expr.width if expr.width is not None else max(1, expr.value.bit_length())
+        return [
+            self.bog.const1() if (expr.value >> i) & 1 else self.bog.const0()
+            for i in range(width)
+        ]
+
+    def _bit_select(self, expr: BitSelect) -> Bits:
+        bits = self.signal_bits[expr.name]
+        lsb = self.design.signal(expr.name).lsb
+        index = expr.index - lsb
+        if index < 0 or index >= len(bits):
+            raise AnalysisError(
+                f"bit select {expr.name}[{expr.index}] out of range (width {len(bits)})"
+            )
+        return [bits[index]]
+
+    def _part_select(self, expr: PartSelect) -> Bits:
+        bits = self.signal_bits[expr.name]
+        lsb_offset = self.design.signal(expr.name).lsb
+        low = min(expr.msb, expr.lsb) - lsb_offset
+        high = max(expr.msb, expr.lsb) - lsb_offset
+        if low < 0 or high >= len(bits):
+            raise AnalysisError(
+                f"part select {expr.name}[{expr.msb}:{expr.lsb}] out of range"
+            )
+        return list(bits[low : high + 1])
+
+    def _concat(self, expr: Concat) -> Bits:
+        # Verilog lists the most significant part first; bit vectors are LSB
+        # first, so reverse the part order and concatenate.
+        bits: Bits = []
+        for part in reversed(expr.parts):
+            bits.extend(self._expr(part))
+        return bits
+
+    def _repeat(self, expr: Repeat) -> Bits:
+        base = self._expr(expr.expr)
+        return list(base) * expr.count
+
+    # -- operators ----------------------------------------------------------
+
+    def _unary(self, expr: UnaryOp) -> Bits:
+        op = expr.op
+        operand = self._expr(expr.operand)
+        bog = self.bog
+        if op == "~":
+            return [bog.NOT(b) for b in operand]
+        if op == "!":
+            return [bog.NOT(self._reduce_or(operand))]
+        if op == "&":
+            return [self._reduce(operand, bog.AND)]
+        if op == "|":
+            return [self._reduce_or(operand)]
+        if op == "^":
+            return [self._reduce(operand, bog.XOR)]
+        if op == "~&":
+            return [bog.NOT(self._reduce(operand, bog.AND))]
+        if op == "~|":
+            return [bog.NOT(self._reduce_or(operand))]
+        if op in ("~^", "^~"):
+            return [bog.NOT(self._reduce(operand, bog.XOR))]
+        if op == "-":
+            return self._negate(operand)
+        raise AnalysisError(f"unsupported unary operator {op!r}")
+
+    def _binary(self, expr: BinaryOp) -> Bits:
+        op = expr.op
+        bog = self.bog
+
+        if op in ("<<", ">>"):
+            left = self._expr(expr.left)
+            return self._shift(left, expr.right, op)
+
+        left = self._expr(expr.left)
+        right = self._expr(expr.right)
+
+        if op in ("&&", "||"):
+            a = self._reduce_or(left)
+            b = self._reduce_or(right)
+            return [bog.AND(a, b) if op == "&&" else bog.OR(a, b)]
+
+        if op in ("==", "!="):
+            width = max(len(left), len(right))
+            left = self.coerce(left, width)
+            right = self.coerce(right, width)
+            diff = [bog.XOR(a, b) for a, b in zip(left, right)]
+            any_diff = self._reduce_or(diff)
+            return [bog.NOT(any_diff)] if op == "==" else [any_diff]
+
+        if op in ("<", "<=", ">", ">="):
+            return [self._compare(left, right, op)]
+
+        width = max(len(left), len(right))
+        left = self.coerce(left, width)
+        right = self.coerce(right, width)
+
+        if op == "&":
+            return [bog.AND(a, b) for a, b in zip(left, right)]
+        if op == "|":
+            return [bog.OR(a, b) for a, b in zip(left, right)]
+        if op == "^":
+            return [bog.XOR(a, b) for a, b in zip(left, right)]
+        if op in ("~^", "^~"):
+            return [bog.NOT(bog.XOR(a, b)) for a, b in zip(left, right)]
+        if op == "+":
+            return self._add(left, right)
+        if op == "-":
+            return self._add(left, self._negate_no_extend(right), carry_in=True)
+        if op == "*":
+            return self._multiply(left, right)
+        if op in ("/", "%"):
+            raise AnalysisError("division/modulo are not synthesizable in this subset")
+        raise AnalysisError(f"unsupported binary operator {op!r}")
+
+    def _ternary(self, expr: Ternary) -> Bits:
+        sel_bits = self._expr(expr.cond)
+        sel = self._reduce_or(sel_bits)
+        then_bits = self._expr(expr.if_true)
+        else_bits = self._expr(expr.if_false)
+        width = max(len(then_bits), len(else_bits))
+        then_bits = self.coerce(then_bits, width)
+        else_bits = self.coerce(else_bits, width)
+        return [self.bog.MUX(sel, a, b) for a, b in zip(then_bits, else_bits)]
+
+    # -- primitives ----------------------------------------------------------
+
+    def _reduce(self, bits: Bits, op: Callable[[int, int], int]) -> int:
+        """Balanced reduction tree over ``bits`` using binary operator ``op``."""
+        if not bits:
+            return self.bog.const0()
+        current = list(bits)
+        while len(current) > 1:
+            next_level: Bits = []
+            for i in range(0, len(current) - 1, 2):
+                next_level.append(op(current[i], current[i + 1]))
+            if len(current) % 2 == 1:
+                next_level.append(current[-1])
+            current = next_level
+        return current[0]
+
+    def _reduce_or(self, bits: Bits) -> int:
+        return self._reduce(bits, self.bog.OR)
+
+    def _add(self, left: Bits, right: Bits, carry_in: bool = False) -> Bits:
+        """Ripple-carry addition, truncated to the operand width."""
+        bog = self.bog
+        carry = bog.const1() if carry_in else bog.const0()
+        out: Bits = []
+        for a, b in zip(left, right):
+            axb = bog.XOR(a, b)
+            out.append(bog.XOR(axb, carry))
+            carry = bog.OR(bog.AND(a, b), bog.AND(axb, carry))
+        return out
+
+    def _negate_no_extend(self, bits: Bits) -> Bits:
+        """Bitwise complement (two's complement negation pairs with carry-in)."""
+        return [self.bog.NOT(b) for b in bits]
+
+    def _negate(self, bits: Bits) -> Bits:
+        """Two's complement negation: ``~x + 1``."""
+        inverted = self._negate_no_extend(bits)
+        one = [self.bog.const1()] + [self.bog.const0()] * (len(bits) - 1)
+        return self._add(inverted, one)
+
+    def _multiply(self, left: Bits, right: Bits) -> Bits:
+        """Shift-and-add array multiplier, truncated to the operand width."""
+        bog = self.bog
+        width = len(left)
+        accumulator: Bits = [bog.const0()] * width
+        for shift, b in enumerate(right):
+            if shift >= width:
+                break
+            partial = [bog.const0()] * shift + [bog.AND(a, b) for a in left[: width - shift]]
+            accumulator = self._add(accumulator, self.coerce(partial, width))
+        return accumulator
+
+    def _shift(self, left: Bits, amount_expr: Expression, op: str) -> Bits:
+        """Logical shift by a constant or variable amount."""
+        bog = self.bog
+        width = len(left)
+        if isinstance(amount_expr, Number):
+            amount = amount_expr.value
+            if op == "<<":
+                shifted = [bog.const0()] * amount + left
+            else:
+                shifted = left[amount:]
+            return self.coerce(shifted, width)
+        # Variable shift: barrel shifter, one MUX layer per shift-amount bit.
+        amount_bits = self._expr(amount_expr)
+        max_stage_bits = max(1, (width - 1).bit_length())
+        current = list(left)
+        for stage, sel in enumerate(amount_bits[:max_stage_bits]):
+            offset = 1 << stage
+            shifted: Bits = []
+            for i in range(width):
+                if op == "<<":
+                    source = current[i - offset] if i - offset >= 0 else bog.const0()
+                else:
+                    source = current[i + offset] if i + offset < width else bog.const0()
+                shifted.append(source)
+            current = [bog.MUX(sel, s, c) for s, c in zip(shifted, current)]
+        # Any higher-order shift-amount bit being set shifts everything out.
+        if len(amount_bits) > max_stage_bits:
+            overflow = self._reduce_or(amount_bits[max_stage_bits:])
+            zero = bog.const0()
+            current = [bog.MUX(overflow, zero, c) for c in current]
+        return current
+
+    def _compare(self, left: Bits, right: Bits, op: str) -> int:
+        """Unsigned magnitude comparison returning a single-bit node."""
+        bog = self.bog
+        width = max(len(left), len(right))
+        left = self.coerce(left, width)
+        right = self.coerce(right, width)
+        # Ripple comparison from LSB to MSB:
+        #   lt = (~a & b) | ((a xnor b) & lt_prev)
+        lt = bog.const0()
+        gt = bog.const0()
+        for a, b in zip(left, right):
+            eq = bog.NOT(bog.XOR(a, b))
+            lt = bog.OR(bog.AND(bog.NOT(a), b), bog.AND(eq, lt))
+            gt = bog.OR(bog.AND(a, bog.NOT(b)), bog.AND(eq, gt))
+        if op == "<":
+            return lt
+        if op == ">":
+            return gt
+        if op == "<=":
+            return bog.NOT(gt)
+        if op == ">=":
+            return bog.NOT(lt)
+        raise AnalysisError(f"unsupported comparison operator {op!r}")

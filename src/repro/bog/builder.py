@@ -1,0 +1,207 @@
+"""Construction of the SOG (simple operator graph) from a word-level design.
+
+:func:`build_sog` performs the front-end elaboration step of the paper's
+workflow: every word-level signal is expanded into bits, every RTL operator
+is lowered into single-bit Boolean operator nodes, and every register bit /
+primary output becomes a timing endpoint.  The result is the SOG variant of
+the Boolean operator graph; the other three variants (AIG, AIMG, XAG) are
+derived from it by :mod:`repro.bog.transforms`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.bog.bitblast import BitBlaster, Bits
+from repro.bog.graph import BOG
+from repro.hdl.ast_nodes import (
+    BinaryOp,
+    BitSelect,
+    Concat,
+    Expression,
+    Identifier,
+    Number,
+    PartSelect,
+    Repeat,
+    Ternary,
+    UnaryOp,
+)
+from repro.hdl.design import AnalysisError, Design, SignalKind, WireAssign
+
+
+def bit_name(signal: str, bit: int) -> str:
+    """Canonical name of a single bit of a word-level signal."""
+    return f"{signal}[{bit}]"
+
+
+def build_sog(design: Design) -> BOG:
+    """Build the SOG Boolean operator graph for ``design``."""
+    bog = BOG(design.name, variant="sog")
+    signal_bits: Dict[str, Bits] = {}
+
+    # 1. Primary input bits and register output bits are graph sources.
+    for signal in design.inputs:
+        signal_bits[signal.name] = [
+            bog.add_input(bit_name(signal.name, i)) for i in range(signal.width)
+        ]
+    for signal in design.register_signals:
+        signal_bits[signal.name] = [
+            bog.add_register(bit_name(signal.name, i)) for i in range(signal.width)
+        ]
+
+    blaster = BitBlaster(bog, design, signal_bits)
+
+    # 2. Continuous assignments, processed in dependency order.
+    _elaborate_assigns(design, bog, blaster, signal_bits)
+
+    # 3. Register next-state logic: each register bit becomes an endpoint.
+    assigned_registers: Set[str] = set()
+    for update in design.registers:
+        signal = design.signal(update.target)
+        bits = blaster.blast(update.expression, signal.width)
+        reg_bits = signal_bits[update.target]
+        for index, (driver, reg_node) in enumerate(zip(bits, reg_bits)):
+            bog.add_endpoint(
+                name=bit_name(update.target, index),
+                signal=update.target,
+                bit=index,
+                driver=driver,
+                kind="register",
+                reg_node=reg_node,
+            )
+        assigned_registers.add(update.target)
+
+    # Registers without an update hold their value; they still appear as
+    # endpoints so that every sequential signal can be annotated.
+    for signal in design.register_signals:
+        if signal.name in assigned_registers:
+            continue
+        for index, reg_node in enumerate(signal_bits[signal.name]):
+            bog.add_endpoint(
+                name=bit_name(signal.name, index),
+                signal=signal.name,
+                bit=index,
+                driver=reg_node,
+                kind="register",
+                reg_node=reg_node,
+            )
+
+    # 4. Primary outputs driven by combinational logic are PO endpoints.
+    for signal in design.outputs:
+        bits = signal_bits.get(signal.name)
+        if bits is None:
+            continue
+        for index, driver in enumerate(bits):
+            bog.add_endpoint(
+                name=bit_name(signal.name, index),
+                signal=signal.name,
+                bit=index,
+                driver=driver,
+                kind="output",
+            )
+
+    bog.validate()
+    return bog
+
+
+def _elaborate_assigns(
+    design: Design,
+    bog: BOG,
+    blaster: BitBlaster,
+    signal_bits: Dict[str, Bits],
+) -> None:
+    """Elaborate continuous assignments in dependency order."""
+    # Group the (possibly partial) assigns per target signal.
+    assigns_by_target: Dict[str, List[WireAssign]] = {}
+    for assign in design.assigns:
+        assigns_by_target.setdefault(assign.target, []).append(assign)
+
+    pending = dict(assigns_by_target)
+    # Signals already available: inputs, registers and constants.
+    progress = True
+    while pending and progress:
+        progress = False
+        for target in list(pending):
+            deps = set()
+            for assign in pending[target]:
+                deps |= _expression_signals(assign.expression)
+            unmet = {
+                d
+                for d in deps
+                if d not in signal_bits and d in assigns_by_target and d != target
+            }
+            if unmet:
+                continue
+            signal_bits[target] = _elaborate_target(
+                design, bog, blaster, target, pending.pop(target)
+            )
+            progress = True
+
+    if pending:
+        cycle = ", ".join(sorted(pending))
+        raise AnalysisError(f"combinational dependency cycle through assigns: {cycle}")
+
+    # Declared wires that are never assigned default to constant zero.
+    for signal in design.wires + design.outputs:
+        if signal.name not in signal_bits:
+            signal_bits[signal.name] = [bog.const0()] * signal.width
+
+
+def _elaborate_target(
+    design: Design,
+    bog: BOG,
+    blaster: BitBlaster,
+    target: str,
+    assigns: Sequence[WireAssign],
+) -> Bits:
+    """Compute the bit vector of a wire target from its (partial) assigns."""
+    signal = design.signal(target)
+    bits: List[Optional[int]] = [None] * signal.width
+    for assign in assigns:
+        if assign.msb is None:
+            value = blaster.blast(assign.expression, signal.width)
+            for i in range(signal.width):
+                bits[i] = value[i]
+        else:
+            low = min(assign.msb, assign.lsb) - signal.lsb
+            high = max(assign.msb, assign.lsb) - signal.lsb
+            width = high - low + 1
+            value = blaster.blast(assign.expression, width)
+            for offset in range(width):
+                index = low + offset
+                if index < 0 or index >= signal.width:
+                    raise AnalysisError(
+                        f"assign to {target}[{index + signal.lsb}] is out of range"
+                    )
+                bits[index] = value[offset]
+    return [b if b is not None else bog.const0() for b in bits]
+
+
+def _expression_signals(expr: Expression) -> Set[str]:
+    """Names of all signals referenced by ``expr``."""
+    names: Set[str] = set()
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, Identifier):
+            names.add(node.name)
+        elif isinstance(node, (BitSelect, PartSelect)):
+            names.add(node.name)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, Ternary):
+            walk(node.cond)
+            walk(node.if_true)
+            walk(node.if_false)
+        elif isinstance(node, Concat):
+            for part in node.parts:
+                walk(part)
+        elif isinstance(node, Repeat):
+            walk(node.expr)
+        elif isinstance(node, Number):
+            return
+
+    walk(expr)
+    return names

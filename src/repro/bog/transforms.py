@@ -1,0 +1,164 @@
+"""Conversions between BOG operator alphabets (SOG -> AIG / AIMG / XAG).
+
+The paper ensembles four representation variants of the same design
+(Section 3.1).  All four are functionally identical; they differ only in the
+operator alphabet, which changes node counts, logic depth and therefore the
+pseudo-STA patterns the downstream models learn from:
+
+* **SOG** — AND, OR, XOR, NOT, MUX (closest to the mapped netlist),
+* **AIG** — AND, NOT only (finest decomposition),
+* **AIMG** — AND, NOT, MUX,
+* **XAG** — AND, XOR, NOT.
+
+:func:`convert` rewrites a SOG into a target variant node-by-node in
+topological order, reusing structural hashing in the destination graph so the
+result stays compact.  :func:`build_variants` is the convenience front end
+used by the RTL-Timer pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bog.builder import build_sog
+from repro.bog.graph import BOG, BOG_VARIANTS, Node, NodeType
+from repro.hdl.design import Design
+
+
+def convert(sog: BOG, variant: str) -> BOG:
+    """Convert a SOG into the requested variant (returns a new graph)."""
+    if variant == "sog":
+        return sog
+    if variant not in BOG_VARIANTS:
+        raise ValueError(f"unknown BOG variant {variant!r}")
+    target = BOG(sog.name, variant=variant)
+    mapping: Dict[int, int] = {}
+
+    emit_or = _or_builder(target)
+    emit_xor = _xor_builder(target)
+    emit_mux = _mux_builder(target)
+
+    for node in sog.nodes:
+        mapping[node.id] = _convert_node(node, target, mapping, emit_or, emit_xor, emit_mux)
+
+    for endpoint in sog.endpoints:
+        target.add_endpoint(
+            name=endpoint.name,
+            signal=endpoint.signal,
+            bit=endpoint.bit,
+            driver=mapping[endpoint.driver],
+            kind=endpoint.kind,
+            reg_node=mapping[endpoint.reg_node] if endpoint.reg_node is not None else None,
+        )
+
+    target.validate()
+    return target
+
+
+def build_variants(design: Design, variants: tuple = BOG_VARIANTS) -> Dict[str, BOG]:
+    """Build the requested BOG variants for ``design`` (SOG is built once)."""
+    sog = build_sog(design)
+    graphs: Dict[str, BOG] = {}
+    for variant in variants:
+        graphs[variant] = sog if variant == "sog" else convert(sog, variant)
+    return graphs
+
+
+# ---------------------------------------------------------------------------
+# Per-node conversion
+# ---------------------------------------------------------------------------
+
+
+def _convert_node(
+    node: Node,
+    target: BOG,
+    mapping: Dict[int, int],
+    emit_or: Callable[[int, int], int],
+    emit_xor: Callable[[int, int], int],
+    emit_mux: Callable[[int, int, int], int],
+) -> int:
+    if node.type is NodeType.CONST0:
+        return target.const0()
+    if node.type is NodeType.CONST1:
+        return target.const1()
+    if node.type is NodeType.INPUT:
+        return target.add_input(node.name or f"pi_{node.id}")
+    if node.type is NodeType.REG:
+        return target.add_register(node.name or f"reg_{node.id}")
+
+    fanins = [mapping[f] for f in node.fanins]
+    if node.type is NodeType.NOT:
+        return target.NOT(fanins[0])
+    if node.type is NodeType.AND:
+        return target.AND(fanins[0], fanins[1])
+    if node.type is NodeType.OR:
+        return emit_or(fanins[0], fanins[1])
+    if node.type is NodeType.XOR:
+        return emit_xor(fanins[0], fanins[1])
+    if node.type is NodeType.MUX:
+        return emit_mux(fanins[0], fanins[1], fanins[2])
+    raise ValueError(f"cannot convert node type {node.type}")
+
+
+def _or_builder(target: BOG) -> Callable[[int, int], int]:
+    """Return a function computing OR within the target variant's alphabet."""
+    from repro.bog.graph import VARIANT_OPERATORS
+
+    allowed = VARIANT_OPERATORS[target.variant]
+    if NodeType.OR in allowed:
+        return target.OR
+
+    def or_via_and(a: int, b: int) -> int:
+        # De Morgan: a | b = ~(~a & ~b)
+        return target.NOT(target.AND(target.NOT(a), target.NOT(b)))
+
+    return or_via_and
+
+
+def _xor_builder(target: BOG) -> Callable[[int, int], int]:
+    """Return a function computing XOR within the target variant's alphabet."""
+    from repro.bog.graph import VARIANT_OPERATORS
+
+    allowed = VARIANT_OPERATORS[target.variant]
+    if NodeType.XOR in allowed:
+        return target.XOR
+    if NodeType.MUX in allowed:
+
+        def xor_via_mux(a: int, b: int) -> int:
+            # a ^ b = a ? ~b : b
+            return target.MUX(a, target.NOT(b), b)
+
+        return xor_via_mux
+
+    def xor_via_and(a: int, b: int) -> int:
+        # a ^ b = ~(~(a & ~b) & ~(~a & b))
+        left = target.AND(a, target.NOT(b))
+        right = target.AND(target.NOT(a), b)
+        return target.NOT(target.AND(target.NOT(left), target.NOT(right)))
+
+    return xor_via_and
+
+
+def _mux_builder(target: BOG) -> Callable[[int, int, int], int]:
+    """Return a function computing MUX within the target variant's alphabet."""
+    from repro.bog.graph import VARIANT_OPERATORS
+
+    allowed = VARIANT_OPERATORS[target.variant]
+    if NodeType.MUX in allowed:
+        return target.MUX
+
+    if NodeType.XOR in allowed:
+
+        def mux_via_xor(sel: int, a: int, b: int) -> int:
+            # sel ? a : b  =  b ^ (sel & (a ^ b))
+            return target.XOR(b, target.AND(sel, target.XOR(a, b)))
+
+        return mux_via_xor
+
+    def mux_via_and(sel: int, a: int, b: int) -> int:
+        # sel ? a : b  =  ~(~(sel & a) & ~(~sel & b))
+        left = target.AND(sel, a)
+        right = target.AND(target.NOT(sel), b)
+        return target.NOT(target.AND(target.NOT(left), target.NOT(right)))
+
+    return mux_via_and

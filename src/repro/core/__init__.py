@@ -1,0 +1,95 @@
+"""RTL-Timer core: the paper's primary contribution."""
+
+from repro.core.metrics import (
+    DEFAULT_GROUP_FRACTIONS,
+    criticality_groups,
+    mape,
+    pearson_r,
+    r_squared,
+    ranking_coverage,
+    regression_metrics,
+)
+from repro.core.dataset import (
+    DatasetConfig,
+    DesignRecord,
+    build_dataset,
+    build_design_record,
+    dataset_summary,
+)
+from repro.core.sampling import (
+    EndpointSamples,
+    PathSample,
+    SamplingConfig,
+    sample_count,
+    sample_design_paths,
+    sample_endpoint_paths,
+)
+from repro.core.features import (
+    DESIGN_FEATURE_NAMES,
+    PATH_FEATURE_NAMES,
+    PathDataset,
+    bog_graph_data,
+    combine_path_datasets,
+    design_feature_vector,
+    extract_path_dataset,
+)
+from repro.core.bitwise import BitwiseArrivalModel, BitwiseConfig
+from repro.core.signalwise import SignalwiseConfig, SignalwiseModel
+from repro.core.overall import OverallConfig, OverallTimingModel
+from repro.core.baselines import GNNBaselineConfig, GNNBitwiseBaseline
+from repro.core.annotate import AnnotationConfig, annotate_design, ranking_groups
+from repro.core.optimize import (
+    OptimizationOutcome,
+    options_from_ranking,
+    ranking_from_labels,
+    run_optimization_experiment,
+    summarize_outcomes,
+)
+from repro.core.pipeline import RTLTimer, RTLTimerConfig, RTLTimerPrediction
+
+__all__ = [
+    "DEFAULT_GROUP_FRACTIONS",
+    "criticality_groups",
+    "mape",
+    "pearson_r",
+    "r_squared",
+    "ranking_coverage",
+    "regression_metrics",
+    "DatasetConfig",
+    "DesignRecord",
+    "build_dataset",
+    "build_design_record",
+    "dataset_summary",
+    "EndpointSamples",
+    "PathSample",
+    "SamplingConfig",
+    "sample_count",
+    "sample_design_paths",
+    "sample_endpoint_paths",
+    "DESIGN_FEATURE_NAMES",
+    "PATH_FEATURE_NAMES",
+    "PathDataset",
+    "bog_graph_data",
+    "combine_path_datasets",
+    "design_feature_vector",
+    "extract_path_dataset",
+    "BitwiseArrivalModel",
+    "BitwiseConfig",
+    "SignalwiseConfig",
+    "SignalwiseModel",
+    "OverallConfig",
+    "OverallTimingModel",
+    "GNNBaselineConfig",
+    "GNNBitwiseBaseline",
+    "AnnotationConfig",
+    "annotate_design",
+    "ranking_groups",
+    "OptimizationOutcome",
+    "options_from_ranking",
+    "ranking_from_labels",
+    "run_optimization_experiment",
+    "summarize_outcomes",
+    "RTLTimer",
+    "RTLTimerConfig",
+    "RTLTimerPrediction",
+]

@@ -1,0 +1,372 @@
+"""Feature extraction for RTL processing (Table 2 of the paper).
+
+Three levels of features are extracted for every sampled path:
+
+* **design-level** — the endpoint's criticality rank within its design (from
+  pseudo-STA) and global size counters (sequential / combinational / total
+  pseudo cells).  These let the model compare endpoints across designs whose
+  synthesis effort differs.
+* **cone-level** — the number of registers driving the endpoint's input cone.
+* **path-level** — pseudo-STA arrival time, level count, operator counts per
+  type, and sum/average/standard deviation statistics of fanout, load and
+  slew along the path.
+
+The same module also produces the per-path token sequences consumed by the
+transformer path model and the whole-graph records consumed by the GNN
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import DesignRecord
+from repro.core.sampling import EndpointSamples, SamplingConfig, sample_design_paths
+from repro.ml.gnn import GraphData
+from repro.sta.engine import STAReport
+from repro.sta.network import TimingNetwork, VertexKind
+from repro.sta.paths import path_arrival
+
+
+#: Column names of the path feature matrix (order matters).
+PATH_FEATURE_NAMES: Tuple[str, ...] = (
+    "design_rank_percent",
+    "design_n_sequential",
+    "design_n_combinational",
+    "design_n_total",
+    "cone_n_driving_regs",
+    "path_pseudo_arrival",
+    "path_n_levels",
+    "path_n_operators",
+    "path_n_and",
+    "path_n_or",
+    "path_n_xor",
+    "path_n_not",
+    "path_n_mux",
+    "path_fanout_sum",
+    "path_fanout_avg",
+    "path_fanout_std",
+    "path_load_sum",
+    "path_load_avg",
+    "path_load_std",
+    "path_slew_avg",
+    "endpoint_fanout",
+    "endpoint_pseudo_arrival",
+)
+
+#: Token alphabet for the transformer path model.
+_TOKEN_FUNCTIONS: Tuple[str, ...] = ("AND", "OR", "XOR", "NOT", "MUX", "REG", "input", "const")
+
+
+@dataclass
+class PathDataset:
+    """Per-path features for one design under one BOG variant."""
+
+    design: str
+    variant: str
+    features: np.ndarray  # (n_paths, n_features)
+    groups: np.ndarray  # (n_paths,) endpoint index local to this dataset
+    tokens: List[np.ndarray]  # per-path token sequences (for the transformer)
+    endpoint_names: List[str]
+    endpoint_signals: List[str]
+    endpoint_labels: np.ndarray  # (n_endpoints,) post-synthesis arrival labels
+    endpoint_designs: List[str]
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.features)
+
+    @property
+    def n_endpoints(self) -> int:
+        return len(self.endpoint_names)
+
+
+def extract_path_dataset(
+    record: DesignRecord,
+    variant: str = "sog",
+    sampling: Optional[SamplingConfig] = None,
+    endpoint_names: Optional[Sequence[str]] = None,
+) -> PathDataset:
+    """Extract the path-level dataset of one design for one BOG variant."""
+    sampling = sampling or SamplingConfig()
+    network = record.pseudo_networks[variant]
+    report = record.pseudo_reports[variant]
+
+    wanted = list(endpoint_names) if endpoint_names is not None else record.endpoint_names
+    samples = sample_design_paths(network, report, sampling, wanted)
+
+    design_stats = _design_statistics(network)
+    rank_percent = _endpoint_rank_percent(report, wanted)
+    fanouts = network.fanouts()
+
+    feature_rows: List[np.ndarray] = []
+    token_rows: List[np.ndarray] = []
+    groups: List[int] = []
+    endpoint_labels: List[float] = []
+    endpoint_signals: List[str] = []
+    kept_names: List[str] = []
+
+    for endpoint_index, name in enumerate(wanted):
+        endpoint_samples = samples.get(name)
+        if endpoint_samples is None:
+            continue
+        kept_names.append(name)
+        endpoint_signals.append(endpoint_samples.signal)
+        endpoint_labels.append(record.labels[name])
+        local_index = len(kept_names) - 1
+        for path in endpoint_samples.paths:
+            feature_rows.append(
+                _path_feature_vector(
+                    network,
+                    report,
+                    path.vertices,
+                    design_stats,
+                    rank_percent.get(name, 0.0),
+                    endpoint_samples,
+                    fanouts,
+                )
+            )
+            token_rows.append(_path_tokens(network, report, path.vertices, fanouts))
+            groups.append(local_index)
+
+    return PathDataset(
+        design=record.name,
+        variant=variant,
+        features=np.array(feature_rows) if feature_rows else np.zeros((0, len(PATH_FEATURE_NAMES))),
+        groups=np.array(groups, dtype=int),
+        tokens=token_rows,
+        endpoint_names=kept_names,
+        endpoint_signals=endpoint_signals,
+        endpoint_labels=np.array(endpoint_labels),
+        endpoint_designs=[record.name] * len(kept_names),
+    )
+
+
+def combine_path_datasets(datasets: Sequence[PathDataset]) -> PathDataset:
+    """Concatenate per-design datasets, re-indexing endpoint groups."""
+    datasets = [d for d in datasets if d.n_endpoints > 0]
+    if not datasets:
+        raise ValueError("no non-empty datasets to combine")
+    features = np.vstack([d.features for d in datasets])
+    tokens: List[np.ndarray] = []
+    groups: List[np.ndarray] = []
+    names: List[str] = []
+    signals: List[str] = []
+    labels: List[np.ndarray] = []
+    designs: List[str] = []
+    offset = 0
+    for dataset in datasets:
+        tokens.extend(dataset.tokens)
+        groups.append(dataset.groups + offset)
+        names.extend(dataset.endpoint_names)
+        signals.extend(dataset.endpoint_signals)
+        labels.append(dataset.endpoint_labels)
+        designs.extend(dataset.endpoint_designs)
+        offset += dataset.n_endpoints
+    return PathDataset(
+        design="+".join(sorted({d.design for d in datasets})),
+        variant=datasets[0].variant,
+        features=features,
+        groups=np.concatenate(groups),
+        tokens=tokens,
+        endpoint_names=names,
+        endpoint_signals=signals,
+        endpoint_labels=np.concatenate(labels),
+        endpoint_designs=designs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-path features
+# ---------------------------------------------------------------------------
+
+
+def _design_statistics(network: TimingNetwork) -> Dict[str, float]:
+    n_sequential = float(network.register_count())
+    n_combinational = float(network.gate_count())
+    return {
+        "n_sequential": n_sequential,
+        "n_combinational": n_combinational,
+        "n_total": n_sequential + n_combinational,
+    }
+
+
+def _endpoint_rank_percent(report: STAReport, names: Sequence[str]) -> Dict[str, float]:
+    """Criticality rank (0 = most critical) of each endpoint, as a percentage."""
+    arrivals = []
+    for name in names:
+        try:
+            arrivals.append((name, report.endpoint(name).arrival))
+        except KeyError:
+            continue
+    arrivals.sort(key=lambda pair: -pair[1])
+    total = max(len(arrivals) - 1, 1)
+    return {name: 100.0 * index / total for index, (name, _) in enumerate(arrivals)}
+
+
+def _path_feature_vector(
+    network: TimingNetwork,
+    report: STAReport,
+    vertices: Sequence[int],
+    design_stats: Dict[str, float],
+    rank_percent: float,
+    endpoint_samples: EndpointSamples,
+    fanouts: List[List[int]],
+) -> np.ndarray:
+    gate_vertices = [v for v in vertices if network.vertices[v].kind is VertexKind.GATE]
+    functions = [network.vertices[v].cell.function for v in gate_vertices]
+    fanout_counts = np.array([len(fanouts[v]) for v in vertices], dtype=float)
+    loads = np.array([report.loads[v] for v in vertices], dtype=float)
+    slews = np.array([report.slews[v] for v in vertices], dtype=float)
+    arrival = path_arrival(network, report, list(vertices))
+    driver = endpoint_samples.driver
+
+    def count(function: str) -> float:
+        return float(sum(1 for f in functions if f == function))
+
+    values = {
+        "design_rank_percent": rank_percent,
+        "design_n_sequential": design_stats["n_sequential"],
+        "design_n_combinational": design_stats["n_combinational"],
+        "design_n_total": design_stats["n_total"],
+        "cone_n_driving_regs": float(endpoint_samples.n_driving_registers),
+        "path_pseudo_arrival": arrival,
+        "path_n_levels": float(len(vertices)),
+        "path_n_operators": float(len(gate_vertices)),
+        "path_n_and": count("AND"),
+        "path_n_or": count("OR"),
+        "path_n_xor": count("XOR"),
+        "path_n_not": count("NOT"),
+        "path_n_mux": count("MUX"),
+        "path_fanout_sum": float(fanout_counts.sum()),
+        "path_fanout_avg": float(fanout_counts.mean()) if len(fanout_counts) else 0.0,
+        "path_fanout_std": float(fanout_counts.std()) if len(fanout_counts) else 0.0,
+        "path_load_sum": float(loads.sum()),
+        "path_load_avg": float(loads.mean()) if len(loads) else 0.0,
+        "path_load_std": float(loads.std()) if len(loads) else 0.0,
+        "path_slew_avg": float(slews.mean()) if len(slews) else 0.0,
+        "endpoint_fanout": float(len(fanouts[driver])),
+        "endpoint_pseudo_arrival": float(report.arrivals[driver]),
+    }
+    return np.array([values[name] for name in PATH_FEATURE_NAMES])
+
+
+def _path_tokens(
+    network: TimingNetwork,
+    report: STAReport,
+    vertices: Sequence[int],
+    fanouts: List[List[int]],
+) -> np.ndarray:
+    """Per-vertex token features along a path (for the transformer model)."""
+    tokens = np.zeros((len(vertices), len(_TOKEN_FUNCTIONS) + 2))
+    for row, vertex_id in enumerate(vertices):
+        vertex = network.vertices[vertex_id]
+        if vertex.cell is not None:
+            label = vertex.cell.function
+        else:
+            label = vertex.kind.value
+        if label not in _TOKEN_FUNCTIONS:
+            label = "const"
+        tokens[row, _TOKEN_FUNCTIONS.index(label)] = 1.0
+        tokens[row, len(_TOKEN_FUNCTIONS)] = len(fanouts[vertex_id])
+        tokens[row, len(_TOKEN_FUNCTIONS) + 1] = report.loads[vertex_id] / 10.0
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Design-level features and GNN graphs
+# ---------------------------------------------------------------------------
+
+
+def design_feature_vector(record: DesignRecord, variant: str = "sog") -> np.ndarray:
+    """Design-level features used by the overall TNS/WNS model."""
+    network = record.pseudo_networks[variant]
+    report = record.pseudo_reports[variant]
+    arrivals = np.array([e.arrival for e in report.endpoints if e.kind == "register"])
+    stats = _design_statistics(network)
+    if arrivals.size == 0:
+        arrivals = np.zeros(1)
+    return np.array(
+        [
+            stats["n_sequential"],
+            stats["n_combinational"],
+            stats["n_total"],
+            float(len(record.labels)),
+            float(arrivals.max()),
+            float(arrivals.mean()),
+            float(arrivals.std()),
+            float(np.percentile(arrivals, 95)),
+            record.clock.period,
+        ]
+    )
+
+
+DESIGN_FEATURE_NAMES: Tuple[str, ...] = (
+    "n_sequential",
+    "n_combinational",
+    "n_total",
+    "n_endpoints",
+    "pseudo_arrival_max",
+    "pseudo_arrival_mean",
+    "pseudo_arrival_std",
+    "pseudo_arrival_p95",
+    "clock_period",
+)
+
+
+def bog_graph_data(record: DesignRecord, variant: str = "sog") -> GraphData:
+    """Whole-design graph record for the customized GNN baseline."""
+    network = record.pseudo_networks[variant]
+    fanouts = network.fanouts()
+    levels = _vertex_levels(network)
+
+    n = len(network.vertices)
+    features = np.zeros((n, len(_TOKEN_FUNCTIONS) + 2))
+    for vertex in network.vertices:
+        label = vertex.cell.function if vertex.cell is not None else vertex.kind.value
+        if label not in _TOKEN_FUNCTIONS:
+            label = "const"
+        features[vertex.id, _TOKEN_FUNCTIONS.index(label)] = 1.0
+        features[vertex.id, len(_TOKEN_FUNCTIONS)] = len(fanouts[vertex.id])
+        features[vertex.id, len(_TOKEN_FUNCTIONS) + 1] = levels[vertex.id] / 10.0
+
+    edge_src: List[int] = []
+    edge_dst: List[int] = []
+    for vertex in network.vertices:
+        for fanin in vertex.fanins:
+            edge_src.append(fanin)
+            edge_dst.append(vertex.id)
+
+    endpoint_nodes: List[int] = []
+    endpoint_targets: List[float] = []
+    endpoint_names: List[str] = []
+    for endpoint in network.endpoints:
+        if endpoint.kind != "register" or endpoint.name not in record.labels:
+            continue
+        endpoint_nodes.append(endpoint.driver)
+        endpoint_targets.append(record.labels[endpoint.name])
+        endpoint_names.append(endpoint.name)
+
+    graph = GraphData(
+        name=record.name,
+        node_features=features,
+        edge_src=np.array(edge_src, dtype=int),
+        edge_dst=np.array(edge_dst, dtype=int),
+        endpoint_nodes=np.array(endpoint_nodes, dtype=int),
+        endpoint_targets=np.array(endpoint_targets),
+    )
+    # Stash the endpoint names for downstream evaluation.
+    graph.endpoint_names = endpoint_names  # type: ignore[attr-defined]
+    return graph
+
+
+def _vertex_levels(network: TimingNetwork) -> List[int]:
+    levels = [0] * len(network.vertices)
+    for vertex_id in network.topological_order():
+        vertex = network.vertices[vertex_id]
+        if vertex.fanins:
+            levels[vertex_id] = 1 + max(levels[f] for f in vertex.fanins)
+    return levels

@@ -1,0 +1,118 @@
+"""Evaluation metrics used throughout the paper's experiments (Section 4.2).
+
+* ``R`` — Pearson correlation coefficient,
+* ``R2`` — coefficient of determination,
+* ``MAPE`` — mean absolute percentage error,
+* ``COVR`` — critical-level ranking coverage: endpoints are split into four
+  criticality groups (top 5%, 5-40%, 40-70%, rest) by both the labels and the
+  predictions, and the coverage is the average fraction of each label group
+  recovered by the corresponding predicted group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import as_1d_array
+
+#: Criticality group boundaries used by the paper: top 5 %, 5-40 %, 40-70 %, rest.
+DEFAULT_GROUP_FRACTIONS: Tuple[float, ...] = (0.05, 0.40, 0.70)
+
+
+def pearson_r(labels: Sequence[float], predictions: Sequence[float]) -> float:
+    """Pearson correlation coefficient between labels and predictions."""
+    y = as_1d_array(labels)
+    p = as_1d_array(predictions)
+    if len(y) != len(p):
+        raise ValueError("labels and predictions must have the same length")
+    if len(y) < 2 or np.std(y) == 0.0 or np.std(p) == 0.0:
+        return 0.0
+    return float(np.corrcoef(y, p)[0, 1])
+
+
+def r_squared(labels: Sequence[float], predictions: Sequence[float]) -> float:
+    """Coefficient of determination R^2."""
+    y = as_1d_array(labels)
+    p = as_1d_array(predictions)
+    if len(y) != len(p):
+        raise ValueError("labels and predictions must have the same length")
+    total = float(np.sum((y - y.mean()) ** 2))
+    if total == 0.0:
+        return 0.0
+    residual = float(np.sum((y - p) ** 2))
+    return 1.0 - residual / total
+
+
+def mape(labels: Sequence[float], predictions: Sequence[float], epsilon: float = 1e-9) -> float:
+    """Mean absolute percentage error, in percent.
+
+    Labels whose magnitude is below ``epsilon`` are excluded (the paper's
+    labels are arrival times, which are strictly positive).
+    """
+    y = as_1d_array(labels)
+    p = as_1d_array(predictions)
+    if len(y) != len(p):
+        raise ValueError("labels and predictions must have the same length")
+    mask = np.abs(y) > epsilon
+    if not np.any(mask):
+        return 0.0
+    return float(np.mean(np.abs(y[mask] - p[mask]) / np.abs(y[mask])) * 100.0)
+
+
+def criticality_groups(
+    values: Sequence[float],
+    fractions: Sequence[float] = DEFAULT_GROUP_FRACTIONS,
+    descending: bool = True,
+) -> List[np.ndarray]:
+    """Split item indices into criticality groups.
+
+    ``values`` are arrival times (or predicted scores); by default larger
+    values are more critical and go into the earlier groups.  Returns a list
+    of index arrays, one per group (``len(fractions) + 1`` groups).
+    """
+    array = as_1d_array(values)
+    order = np.argsort(-array if descending else array, kind="stable")
+    n = len(array)
+    boundaries = [int(round(fraction * n)) for fraction in fractions]
+    boundaries = sorted(set(min(max(b, 0), n) for b in boundaries))
+    groups: List[np.ndarray] = []
+    start = 0
+    for boundary in boundaries + [n]:
+        groups.append(order[start:boundary])
+        start = boundary
+    return groups
+
+
+def ranking_coverage(
+    labels: Sequence[float],
+    predictions: Sequence[float],
+    fractions: Sequence[float] = DEFAULT_GROUP_FRACTIONS,
+) -> float:
+    """COVR: average per-group overlap between label and prediction groups."""
+    y = as_1d_array(labels)
+    p = as_1d_array(predictions)
+    if len(y) != len(p):
+        raise ValueError("labels and predictions must have the same length")
+    if len(y) == 0:
+        return 0.0
+    label_groups = criticality_groups(y, fractions)
+    prediction_groups = criticality_groups(p, fractions)
+    coverages = []
+    for label_group, prediction_group in zip(label_groups, prediction_groups):
+        if len(label_group) == 0:
+            continue
+        overlap = len(set(label_group.tolist()) & set(prediction_group.tolist()))
+        coverages.append(overlap / len(label_group))
+    return float(np.mean(coverages) * 100.0) if coverages else 0.0
+
+
+def regression_metrics(labels: Sequence[float], predictions: Sequence[float]) -> Dict[str, float]:
+    """Bundle of R / R^2 / MAPE / COVR for one evaluation."""
+    return {
+        "r": pearson_r(labels, predictions),
+        "r2": r_squared(labels, predictions),
+        "mape": mape(labels, predictions),
+        "covr": ranking_coverage(labels, predictions),
+    }

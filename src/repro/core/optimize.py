@@ -1,0 +1,173 @@
+"""Prediction-driven synthesis optimization (Section 3.5.2, Table 6).
+
+RTL-Timer's signal-wise criticality ranking is turned into synthesis
+directives:
+
+* the signals are split into four path groups (top 5 %, 5-40 %, 40-70 %,
+  rest) and every group receives its own ``group_path`` optimization budget,
+* the top ~5 % most critical signals are additionally targeted by ``retime``.
+
+:func:`run_optimization_experiment` synthesizes a design twice — once with
+default options and once with the prediction-driven options — and reports the
+percentage change of WNS, TNS, power and area, which is exactly one row of
+Table 6.  Passing the ground-truth ranking instead of the predicted one gives
+the "Opt. w. Real" columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.dataset import DesignRecord
+from repro.core.metrics import DEFAULT_GROUP_FRACTIONS
+from repro.sta.constraints import ClockConstraint
+from repro.synth.flow import SynthesisResult, synthesize_bog
+from repro.synth.optimizer import PathGroup, SynthesisOptions
+
+
+@dataclass
+class OptimizationOutcome:
+    """Default-vs-optimized comparison for one design (one Table 6 row)."""
+
+    design: str
+    default: SynthesisResult
+    optimized: SynthesisResult
+    options: SynthesisOptions
+    ranking_source: str = "predicted"
+
+    # Percentage changes, computed in __post_init__.
+    wns_change_pct: float = field(init=False)
+    tns_change_pct: float = field(init=False)
+    power_change_pct: float = field(init=False)
+    area_change_pct: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.wns_change_pct = _magnitude_change_pct(self.default.wns, self.optimized.wns)
+        self.tns_change_pct = _magnitude_change_pct(self.default.tns, self.optimized.tns)
+        self.power_change_pct = _relative_change_pct(
+            self.default.qor.total_power, self.optimized.qor.total_power
+        )
+        self.area_change_pct = _relative_change_pct(
+            self.default.qor.area, self.optimized.qor.area
+        )
+
+    @property
+    def improved(self) -> bool:
+        """True when neither WNS nor TNS degraded (the paper's criterion)."""
+        return self.wns_change_pct <= 0.0 and self.tns_change_pct <= 0.0
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "design": self.design,
+            "wns_pct": self.wns_change_pct,
+            "tns_pct": self.tns_change_pct,
+            "power_pct": self.power_change_pct,
+            "area_pct": self.area_change_pct,
+        }
+
+
+def _magnitude_change_pct(default_value: float, optimized_value: float) -> float:
+    """Change of |value| in percent (negative = improvement for WNS/TNS)."""
+    base = abs(default_value)
+    if base < 1e-9:
+        return 0.0
+    return 100.0 * (abs(optimized_value) - base) / base
+
+
+def _relative_change_pct(default_value: float, optimized_value: float) -> float:
+    if abs(default_value) < 1e-12:
+        return 0.0
+    return 100.0 * (optimized_value - default_value) / default_value
+
+
+def options_from_ranking(
+    ranked_signals: Sequence[str],
+    group_fractions: Sequence[float] = DEFAULT_GROUP_FRACTIONS,
+    retime_fraction: float = 0.05,
+    seed: int = 1,
+) -> SynthesisOptions:
+    """Build ``group_path`` + ``retime`` synthesis options from a ranking.
+
+    ``ranked_signals`` is ordered from most critical to least critical.
+    """
+    signals = list(ranked_signals)
+    n = len(signals)
+    if n == 0:
+        return SynthesisOptions(seed=seed)
+
+    boundaries = [max(1, int(round(fraction * n))) for fraction in group_fractions]
+    boundaries = sorted(set(min(b, n) for b in boundaries))
+    groups: List[PathGroup] = []
+    start = 0
+    for index, boundary in enumerate(boundaries + [n]):
+        members = signals[start:boundary]
+        if members:
+            groups.append(PathGroup(name=f"g{index + 1}", signals=members))
+        start = boundary
+
+    retime_count = max(1, int(round(retime_fraction * n)))
+    return SynthesisOptions(
+        path_groups=groups,
+        retime_signals=signals[:retime_count],
+        seed=seed,
+    )
+
+
+def ranking_from_labels(record: DesignRecord) -> List[str]:
+    """Ground-truth signal ranking (most critical first) from the labels."""
+    labels = record.signal_labels()
+    return sorted(labels, key=lambda signal: -labels[signal])
+
+
+def run_optimization_experiment(
+    record: DesignRecord,
+    ranked_signals: Sequence[str],
+    ranking_source: str = "predicted",
+    clock: Optional[ClockConstraint] = None,
+    seed: int = 7,
+) -> OptimizationOutcome:
+    """Synthesize with default and prediction-driven options and compare."""
+    clock = clock or record.clock
+    sog = record.bogs["sog"]
+
+    default = synthesize_bog(sog, clock, SynthesisOptions(seed=seed), seed=seed)
+    options = options_from_ranking(ranked_signals, seed=seed)
+    optimized = synthesize_bog(sog, clock, options, seed=seed)
+
+    return OptimizationOutcome(
+        design=record.name,
+        default=default,
+        optimized=optimized,
+        options=options,
+        ranking_source=ranking_source,
+    )
+
+
+def summarize_outcomes(outcomes: Sequence[OptimizationOutcome]) -> Dict[str, float]:
+    """Avg1/Avg2 aggregation of Table 6.
+
+    ``avg1_*`` averages the optimization-flow results over all designs;
+    ``avg2_*`` replaces non-optimized designs (where WNS or TNS degraded) with
+    the default flow (zero change), matching the paper's practice of running
+    both flows concurrently and keeping the better one.
+    """
+    if not outcomes:
+        return {}
+
+    def mean(values: List[float]) -> float:
+        return sum(values) / len(values)
+
+    avg1 = {
+        "avg1_wns_pct": mean([o.wns_change_pct for o in outcomes]),
+        "avg1_tns_pct": mean([o.tns_change_pct for o in outcomes]),
+        "avg1_power_pct": mean([o.power_change_pct for o in outcomes]),
+        "avg1_area_pct": mean([o.area_change_pct for o in outcomes]),
+    }
+    avg2 = {
+        "avg2_wns_pct": mean([o.wns_change_pct if o.improved else 0.0 for o in outcomes]),
+        "avg2_tns_pct": mean([o.tns_change_pct if o.improved else 0.0 for o in outcomes]),
+        "avg2_power_pct": mean([o.power_change_pct if o.improved else 0.0 for o in outcomes]),
+        "avg2_area_pct": mean([o.area_change_pct if o.improved else 0.0 for o in outcomes]),
+    }
+    return {**avg1, **avg2}

@@ -1,0 +1,156 @@
+"""The RTL-Timer public API: end-to-end fine-grained RTL timing evaluation.
+
+:class:`RTLTimer` ties the whole workflow of Fig. 3 together:
+
+1. register-oriented RTL processing over the four BOG variants,
+2. bit-wise endpoint arrival modelling with the max-arrival loss + ensemble,
+3. signal-wise max-arrival regression and LambdaMART criticality ranking,
+4. design-level WNS/TNS prediction,
+5. automatic slack annotation on the HDL source,
+6. prediction-driven synthesis options (``group_path`` + ``retime``).
+
+Typical usage::
+
+    records = build_dataset(BENCHMARK_SPECS)
+    timer = RTLTimer().fit(records[:-1])
+    prediction = timer.predict(records[-1])
+    print(prediction.overall)                  # predicted WNS / TNS
+    annotated = timer.annotate(records[-1])    # Verilog with slack comments
+    options = timer.synthesis_options(records[-1])
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.annotate import AnnotationConfig, annotate_design, ranking_groups
+from repro.core.bitwise import BitwiseArrivalModel, BitwiseConfig
+from repro.core.dataset import DesignRecord
+from repro.core.metrics import regression_metrics
+from repro.core.optimize import options_from_ranking
+from repro.core.overall import OverallConfig, OverallTimingModel
+from repro.core.signalwise import SignalwiseConfig, SignalwiseModel
+from repro.synth.optimizer import SynthesisOptions
+
+
+@dataclass(frozen=True)
+class RTLTimerConfig:
+    """Top-level configuration bundling the per-stage configurations."""
+
+    bitwise: BitwiseConfig = field(default_factory=BitwiseConfig)
+    signalwise: SignalwiseConfig = field(default_factory=SignalwiseConfig)
+    overall: OverallConfig = field(default_factory=OverallConfig)
+    annotation: AnnotationConfig = field(default_factory=AnnotationConfig)
+
+
+@dataclass
+class RTLTimerPrediction:
+    """Everything RTL-Timer predicts for one design."""
+
+    design: str
+    bitwise_arrival: Dict[str, float]
+    signal_arrival: Dict[str, float]
+    signal_ranking: Dict[str, float]
+    signal_slack: Dict[str, float]
+    rank_group: Dict[str, int]
+    overall: Dict[str, float]
+    runtime_seconds: float
+
+    def ranked_signals(self) -> List[str]:
+        """Signals ordered from most critical to least critical."""
+        return sorted(self.signal_ranking, key=lambda s: -self.signal_ranking[s])
+
+
+class RTLTimer:
+    """Fine-grained general RTL timing estimator (the paper's contribution)."""
+
+    def __init__(self, config: Optional[RTLTimerConfig] = None):
+        self.config = config or RTLTimerConfig()
+        self.bitwise = BitwiseArrivalModel(self.config.bitwise)
+        self.signalwise = SignalwiseModel(self.config.signalwise)
+        self.overall = OverallTimingModel(self.config.overall)
+
+    # -- training ---------------------------------------------------------------------
+
+    def fit(self, records: Sequence[DesignRecord]) -> "RTLTimer":
+        """Train all stages on the given designs (cross-design training set)."""
+        self.bitwise.fit(records)
+        bitwise_predictions = {
+            record.name: self.bitwise.predict(record) for record in records
+        }
+        self.signalwise.fit(records, bitwise_predictions)
+        self.overall.fit(records, bitwise_predictions)
+        self.training_designs_ = [record.name for record in records]
+        return self
+
+    # -- inference --------------------------------------------------------------------
+
+    def predict(self, record: DesignRecord) -> RTLTimerPrediction:
+        """Run the full prediction stack on one (unseen) design."""
+        started = time.perf_counter()
+        bitwise_arrival = self.bitwise.predict(record)
+        signal_prediction = self.signalwise.predict(record, bitwise_arrival)
+        overall = self.overall.predict(record, bitwise_arrival)
+
+        required = record.clock.required_time(record._setup_time())
+        signal_slack = {
+            signal: required - arrival
+            for signal, arrival in signal_prediction["arrival"].items()
+        }
+        groups = ranking_groups(signal_prediction["ranking"])
+        runtime = time.perf_counter() - started
+        return RTLTimerPrediction(
+            design=record.name,
+            bitwise_arrival=bitwise_arrival,
+            signal_arrival=signal_prediction["arrival"],
+            signal_ranking=signal_prediction["ranking"],
+            signal_slack=signal_slack,
+            rank_group=groups,
+            overall=overall,
+            runtime_seconds=runtime,
+        )
+
+    # -- applications -------------------------------------------------------------------
+
+    def annotate(self, record: DesignRecord, prediction: Optional[RTLTimerPrediction] = None) -> str:
+        """Return the design's Verilog annotated with predicted slack info."""
+        prediction = prediction or self.predict(record)
+        return annotate_design(
+            record,
+            prediction.signal_slack,
+            prediction.signal_ranking,
+            prediction.overall,
+            self.config.annotation,
+        )
+
+    def synthesis_options(
+        self, record: DesignRecord, prediction: Optional[RTLTimerPrediction] = None
+    ) -> SynthesisOptions:
+        """Prediction-driven ``group_path`` + ``retime`` synthesis options."""
+        prediction = prediction or self.predict(record)
+        return options_from_ranking(prediction.ranked_signals())
+
+    # -- evaluation ---------------------------------------------------------------------
+
+    def evaluate_bitwise(self, record: DesignRecord) -> Dict[str, float]:
+        """R / R2 / MAPE / COVR of the bit-wise predictions on one design."""
+        prediction = self.bitwise.predict(record)
+        names = [n for n in record.endpoint_names if n in prediction]
+        labels = [record.labels[n] for n in names]
+        values = [prediction[n] for n in names]
+        return regression_metrics(labels, values)
+
+    def evaluate_signalwise(self, record: DesignRecord) -> Dict[str, float]:
+        """Metrics of the signal-wise regression and LTR ranking on one design."""
+        prediction = self.predict(record)
+        signal_labels = record.signal_labels()
+        signals = [s for s in sorted(signal_labels) if s in prediction.signal_arrival]
+        labels = [signal_labels[s] for s in signals]
+        regression = regression_metrics(labels, [prediction.signal_arrival[s] for s in signals])
+        from repro.core.metrics import ranking_coverage
+
+        ranking_covr = ranking_coverage(labels, [prediction.signal_ranking[s] for s in signals])
+        regression["ranking_covr"] = ranking_covr
+        return regression

@@ -1,0 +1,129 @@
+"""Register-oriented RTL processing: endpoint cones and path sampling.
+
+Implements step 1 of the RTL-Timer workflow (Section 3.2 of the paper).  For
+every register bit endpoint of a BOG "pseudo netlist":
+
+* the endpoint's *input cone* is the transitive fanin up to driving registers
+  and primary inputs,
+* the *slowest path* is extracted by running pseudo-STA on the representation
+  and backtracking from the endpoint,
+* ``K`` additional *random paths* are sampled inside the cone, with ``K``
+  proportional to the number of driving registers, so wide cones (whose
+  post-synthesis restructuring is hardest to anticipate) contribute more
+  evidence.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sta.engine import STAReport
+from repro.sta.network import TimingNetwork
+from repro.sta.paths import (
+    driving_launch_points,
+    sample_random_path,
+    trace_critical_path,
+)
+
+
+@dataclass
+class PathSample:
+    """One sampled path ending at an endpoint."""
+
+    endpoint: str
+    vertices: List[int]
+    is_critical: bool  # True for the pseudo-STA slowest path
+
+
+@dataclass
+class EndpointSamples:
+    """All sampled paths plus cone statistics for one endpoint."""
+
+    endpoint: str
+    signal: str
+    bit: int
+    driver: int
+    n_driving_registers: int
+    paths: List[PathSample] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Path sampling knobs.
+
+    ``k_scale`` scales the number of random paths with the square root of the
+    number of driving registers; ``k_max`` caps it (the paper only states the
+    count is proportional to the driving-register count).  ``use_sampling``
+    switches the random paths off entirely for the "w/o sample" ablation of
+    Table 4.
+    """
+
+    k_scale: float = 1.0
+    k_min: int = 1
+    k_max: int = 4
+    use_sampling: bool = True
+    seed: int = 0
+
+
+def sample_count(n_driving_registers: int, config: SamplingConfig) -> int:
+    """Number of random paths for an endpoint with the given cone width."""
+    if not config.use_sampling:
+        return 0
+    k = int(round(config.k_scale * math.sqrt(max(n_driving_registers, 1))))
+    return max(config.k_min, min(config.k_max, k))
+
+
+def sample_endpoint_paths(
+    network: TimingNetwork,
+    report: STAReport,
+    endpoint_name: str,
+    config: SamplingConfig,
+    rng: random.Random,
+) -> EndpointSamples:
+    """Sample the slowest path plus K random paths for one endpoint."""
+    endpoint = next(e for e in network.endpoints if e.name == endpoint_name)
+    launch_points = driving_launch_points(network, endpoint.driver)
+    samples = EndpointSamples(
+        endpoint=endpoint.name,
+        signal=endpoint.signal,
+        bit=endpoint.bit,
+        driver=endpoint.driver,
+        n_driving_registers=len(launch_points),
+    )
+
+    critical = trace_critical_path(network, report, endpoint_name)
+    samples.paths.append(
+        PathSample(endpoint=endpoint.name, vertices=critical.vertices, is_critical=True)
+    )
+
+    for _ in range(sample_count(len(launch_points), config)):
+        vertices = sample_random_path(network, endpoint.driver, rng)
+        samples.paths.append(
+            PathSample(endpoint=endpoint.name, vertices=vertices, is_critical=False)
+        )
+    return samples
+
+
+def sample_design_paths(
+    network: TimingNetwork,
+    report: STAReport,
+    config: Optional[SamplingConfig] = None,
+    endpoint_names: Optional[Sequence[str]] = None,
+) -> Dict[str, EndpointSamples]:
+    """Sample paths for every (or the selected) register endpoint of a design."""
+    config = config or SamplingConfig()
+    rng = random.Random(config.seed)
+    wanted = set(endpoint_names) if endpoint_names is not None else None
+    result: Dict[str, EndpointSamples] = {}
+    for endpoint in network.endpoints:
+        if endpoint.kind != "register":
+            continue
+        if wanted is not None and endpoint.name not in wanted:
+            continue
+        result[endpoint.name] = sample_endpoint_paths(
+            network, report, endpoint.name, config, rng
+        )
+    return result

@@ -1,0 +1,238 @@
+"""Abstract syntax tree node definitions for the supported Verilog subset.
+
+The AST is intentionally small: it models exactly the constructs the
+benchmark generator emits and the elaborator consumes.  Every node is an
+immutable dataclass so trees can be shared safely between representations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expression:
+    """Base class for all expression nodes."""
+
+
+@dataclass(frozen=True)
+class Identifier(Expression):
+    """Reference to a named signal (full width)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Number(Expression):
+    """Literal constant.
+
+    ``width`` is ``None`` for unsized decimal literals; the analyzer infers a
+    context width during elaboration.
+    """
+
+    value: int
+    width: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.width is None:
+            return str(self.value)
+        return f"{self.width}'d{self.value}"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary operator.
+
+    Supported operators: ``~`` (bitwise not), ``!`` (logical not), ``-``
+    (arithmetic negation) and the reductions ``&``, ``|``, ``^``, ``~&``,
+    ``~|``, ``~^``.
+    """
+
+    op: str
+    operand: Expression
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Binary operator.
+
+    Supported operators: ``&``, ``|``, ``^``, ``~^``, ``+``, ``-``, ``*``,
+    ``<<``, ``>>``, ``==``, ``!=``, ``<``, ``<=``, ``>``, ``>=``, ``&&``,
+    ``||``.
+    """
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Ternary(Expression):
+    """Conditional operator ``cond ? if_true : if_false``."""
+
+    cond: Expression
+    if_true: Expression
+    if_false: Expression
+
+    def __str__(self) -> str:
+        return f"({self.cond} ? {self.if_true} : {self.if_false})"
+
+
+@dataclass(frozen=True)
+class BitSelect(Expression):
+    """Single-bit select ``name[index]`` with a constant index."""
+
+    name: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class PartSelect(Expression):
+    """Constant part select ``name[msb:lsb]``."""
+
+    name: str
+    msb: int
+    lsb: int
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.msb}:{self.lsb}]"
+
+
+@dataclass(frozen=True)
+class Concat(Expression):
+    """Concatenation ``{a, b, c}`` (left-most part is the most significant)."""
+
+    parts: Tuple[Expression, ...]
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(p) for p in self.parts) + "}"
+
+
+@dataclass(frozen=True)
+class Repeat(Expression):
+    """Replication ``{count{expr}}``."""
+
+    count: int
+    expr: Expression
+
+    def __str__(self) -> str:
+        return f"{{{self.count}{{{self.expr}}}}}"
+
+
+# ---------------------------------------------------------------------------
+# Statements and declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class for statements inside ``always`` blocks."""
+
+
+@dataclass(frozen=True)
+class NonBlocking(Statement):
+    """Non-blocking assignment ``lhs <= rhs;`` targeting a register."""
+
+    target: Expression
+    value: Expression
+
+
+@dataclass(frozen=True)
+class IfStatement(Statement):
+    """``if (cond) ... else ...`` tree inside an ``always`` block."""
+
+    cond: Expression
+    then_body: Tuple[Statement, ...]
+    else_body: Tuple[Statement, ...] = ()
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    """Port declaration: direction is ``"input"`` or ``"output"``."""
+
+    direction: str
+    name: str
+    msb: int = 0
+    lsb: int = 0
+    is_reg: bool = False
+
+    @property
+    def width(self) -> int:
+        return abs(self.msb - self.lsb) + 1
+
+
+@dataclass(frozen=True)
+class NetDecl:
+    """Internal ``wire`` or ``reg`` declaration."""
+
+    kind: str  # "wire" or "reg"
+    name: str
+    msb: int = 0
+    lsb: int = 0
+
+    @property
+    def width(self) -> int:
+        return abs(self.msb - self.lsb) + 1
+
+
+@dataclass(frozen=True)
+class Assign:
+    """Continuous assignment ``assign target = value;``."""
+
+    target: Expression
+    value: Expression
+
+
+@dataclass(frozen=True)
+class AlwaysFF:
+    """``always @(posedge clock)`` process with optional synchronous reset."""
+
+    clock: str
+    body: Tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class Module:
+    """Top-level module AST."""
+
+    name: str
+    ports: Tuple[PortDecl, ...] = ()
+    nets: Tuple[NetDecl, ...] = ()
+    assigns: Tuple[Assign, ...] = ()
+    always_blocks: Tuple[AlwaysFF, ...] = ()
+    source_lines: Tuple[str, ...] = field(default_factory=tuple)
+
+    def port(self, name: str) -> PortDecl:
+        """Return the port declaration named ``name``.
+
+        Raises ``KeyError`` if the module has no such port.
+        """
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise KeyError(name)
+
+    def net(self, name: str) -> NetDecl:
+        """Return the net declaration named ``name`` (wire or reg)."""
+        for net in self.nets:
+            if net.name == name:
+                return net
+        raise KeyError(name)

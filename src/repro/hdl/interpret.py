@@ -1,0 +1,199 @@
+"""Word-level reference interpreter for the supported Verilog subset.
+
+Evaluates a :class:`~repro.hdl.design.Design` for one assignment of input and
+register values using ordinary Python integer arithmetic.  The test suite
+uses it as an executable specification: bit-blasted BOGs must produce the
+same register next-state and output values as this interpreter for random
+stimulus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.hdl.ast_nodes import (
+    BinaryOp,
+    BitSelect,
+    Concat,
+    Expression,
+    Identifier,
+    Number,
+    PartSelect,
+    Repeat,
+    Ternary,
+    UnaryOp,
+)
+from repro.hdl.design import AnalysisError, Design, expression_width
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+class Interpreter:
+    """Evaluates expressions of one design against a value environment."""
+
+    def __init__(self, design: Design):
+        self.design = design
+
+    def evaluate_step(self, values: Mapping[str, int]) -> Dict[str, int]:
+        """Evaluate one clock cycle.
+
+        ``values`` holds the current value of every input and register signal
+        (missing signals default to 0).  The return value maps every register
+        signal to its next-state value and every output/wire to its settled
+        combinational value.
+        """
+        env: Dict[str, int] = {}
+        for signal in self.design.signals.values():
+            env[signal.name] = int(values.get(signal.name, 0)) & _mask(signal.width)
+
+        self._settle_wires(env)
+
+        result: Dict[str, int] = {}
+        for update in self.design.registers:
+            width = self.design.width_of(update.target)
+            result[update.target] = self.evaluate(update.expression, env) & _mask(width)
+        for signal in self.design.register_signals:
+            result.setdefault(signal.name, env[signal.name])
+        for signal in self.design.outputs + self.design.wires:
+            result[signal.name] = env[signal.name]
+        return result
+
+    def _settle_wires(self, env: Dict[str, int]) -> None:
+        """Evaluate continuous assigns repeatedly until they reach a fixpoint.
+
+        Assigns may be declared in any order (a wire may be used before the
+        assign that drives it appears), so every pass re-evaluates all of
+        them; the supported subset has no combinational loops (the BOG builder
+        enforces that), so at most ``len(assigns)`` passes are needed.
+        """
+        assigns = list(self.design.assigns)
+        for _ in range(len(assigns) + 1):
+            changed = False
+            for assign in assigns:
+                value = self.evaluate(assign.expression, env)
+                signal = self.design.signal(assign.target)
+                if assign.msb is None:
+                    new_value = value & _mask(signal.width)
+                else:
+                    low = min(assign.msb, assign.lsb) - signal.lsb
+                    width = abs(assign.msb - assign.lsb) + 1
+                    current = env.get(assign.target, 0)
+                    cleared = current & ~(_mask(width) << low)
+                    new_value = cleared | ((value & _mask(width)) << low)
+                if env.get(assign.target) != new_value:
+                    env[assign.target] = new_value
+                    changed = True
+            if not changed:
+                return
+
+    # -- expression evaluation ----------------------------------------------
+
+    def evaluate(self, expr: Expression, env: Mapping[str, int]) -> int:
+        design = self.design
+        if isinstance(expr, Identifier):
+            return env[expr.name]
+        if isinstance(expr, Number):
+            if expr.width is not None:
+                return expr.value & _mask(expr.width)
+            return expr.value
+        if isinstance(expr, BitSelect):
+            signal = design.signal(expr.name)
+            return (env[expr.name] >> (expr.index - signal.lsb)) & 1
+        if isinstance(expr, PartSelect):
+            signal = design.signal(expr.name)
+            low = min(expr.msb, expr.lsb) - signal.lsb
+            width = abs(expr.msb - expr.lsb) + 1
+            return (env[expr.name] >> low) & _mask(width)
+        if isinstance(expr, Concat):
+            value = 0
+            for part in expr.parts:
+                width = expression_width(part, design)
+                value = (value << width) | (self.evaluate(part, env) & _mask(width))
+            return value
+        if isinstance(expr, Repeat):
+            width = expression_width(expr.expr, design)
+            part = self.evaluate(expr.expr, env) & _mask(width)
+            value = 0
+            for _ in range(expr.count):
+                value = (value << width) | part
+            return value
+        if isinstance(expr, UnaryOp):
+            return self._unary(expr, env)
+        if isinstance(expr, BinaryOp):
+            return self._binary(expr, env)
+        if isinstance(expr, Ternary):
+            cond = self.evaluate(expr.cond, env)
+            branch = expr.if_true if cond != 0 else expr.if_false
+            return self.evaluate(branch, env)
+        raise AnalysisError(f"cannot interpret expression {expr!r}")
+
+    def _unary(self, expr: UnaryOp, env: Mapping[str, int]) -> int:
+        width = expression_width(expr.operand, self.design)
+        value = self.evaluate(expr.operand, env) & _mask(width)
+        op = expr.op
+        if op == "~":
+            return (~value) & _mask(width)
+        if op == "!":
+            return int(value == 0)
+        if op == "&":
+            return int(value == _mask(width))
+        if op == "|":
+            return int(value != 0)
+        if op == "^":
+            return bin(value).count("1") & 1
+        if op == "~&":
+            return int(value != _mask(width))
+        if op == "~|":
+            return int(value == 0)
+        if op in ("~^", "^~"):
+            return 1 - (bin(value).count("1") & 1)
+        if op == "-":
+            return (-value) & _mask(width)
+        raise AnalysisError(f"unsupported unary operator {op!r}")
+
+    def _binary(self, expr: BinaryOp, env: Mapping[str, int]) -> int:
+        design = self.design
+        op = expr.op
+        left_width = expression_width(expr.left, design)
+        right_width = expression_width(expr.right, design)
+        left = self.evaluate(expr.left, env) & _mask(left_width)
+        right = self.evaluate(expr.right, env) & _mask(right_width)
+        width = max(left_width, right_width)
+
+        if op == "&&":
+            return int(left != 0 and right != 0)
+        if op == "||":
+            return int(left != 0 or right != 0)
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        if op == ">=":
+            return int(left >= right)
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op in ("~^", "^~"):
+            return (~(left ^ right)) & _mask(width)
+        if op == "+":
+            return (left + right) & _mask(width)
+        if op == "-":
+            return (left - right) & _mask(width)
+        if op == "*":
+            return (left * right) & _mask(width)
+        if op == "<<":
+            return (left << right) & _mask(left_width)
+        if op == ">>":
+            return (left >> right) & _mask(left_width)
+        raise AnalysisError(f"unsupported binary operator {op!r}")

@@ -1,0 +1,160 @@
+"""Verilog re-emission helpers.
+
+Two jobs live here:
+
+* :func:`write_verilog` re-emits a parsed :class:`~repro.hdl.ast_nodes.Module`
+  as Verilog text (used by tests for parse/print round-trips).
+* :func:`annotate_lines` inserts comment annotations next to declaration
+  lines, which the RTL-Timer annotation tool in :mod:`repro.core.annotate`
+  uses to write predicted slack next to each sequential signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.hdl.ast_nodes import (
+    AlwaysFF,
+    Assign,
+    BinaryOp,
+    BitSelect,
+    Concat,
+    Expression,
+    Identifier,
+    IfStatement,
+    Module,
+    NonBlocking,
+    Number,
+    PartSelect,
+    Repeat,
+    Statement,
+    Ternary,
+    UnaryOp,
+)
+
+
+def expression_to_verilog(expr: Expression) -> str:
+    """Render an expression AST back to Verilog source text."""
+    if isinstance(expr, Identifier):
+        return expr.name
+    if isinstance(expr, Number):
+        if expr.width is None:
+            return str(expr.value)
+        return f"{expr.width}'d{expr.value}"
+    if isinstance(expr, BitSelect):
+        return f"{expr.name}[{expr.index}]"
+    if isinstance(expr, PartSelect):
+        return f"{expr.name}[{expr.msb}:{expr.lsb}]"
+    if isinstance(expr, UnaryOp):
+        return f"{expr.op}({expression_to_verilog(expr.operand)})"
+    if isinstance(expr, BinaryOp):
+        return (
+            f"({expression_to_verilog(expr.left)} {expr.op} "
+            f"{expression_to_verilog(expr.right)})"
+        )
+    if isinstance(expr, Ternary):
+        return (
+            f"({expression_to_verilog(expr.cond)} ? "
+            f"{expression_to_verilog(expr.if_true)} : "
+            f"{expression_to_verilog(expr.if_false)})"
+        )
+    if isinstance(expr, Concat):
+        return "{" + ", ".join(expression_to_verilog(p) for p in expr.parts) + "}"
+    if isinstance(expr, Repeat):
+        return f"{{{expr.count}{{{expression_to_verilog(expr.expr)}}}}}"
+    raise TypeError(f"cannot render expression {expr!r}")
+
+
+def _statement_lines(statement: Statement, indent: str) -> List[str]:
+    if isinstance(statement, NonBlocking):
+        return [
+            f"{indent}{expression_to_verilog(statement.target)} <= "
+            f"{expression_to_verilog(statement.value)};"
+        ]
+    if isinstance(statement, IfStatement):
+        lines = [f"{indent}if ({expression_to_verilog(statement.cond)}) begin"]
+        for inner in statement.then_body:
+            lines.extend(_statement_lines(inner, indent + "  "))
+        lines.append(f"{indent}end")
+        if statement.else_body:
+            lines.append(f"{indent}else begin")
+            for inner in statement.else_body:
+                lines.extend(_statement_lines(inner, indent + "  "))
+            lines.append(f"{indent}end")
+        return lines
+    raise TypeError(f"cannot render statement {statement!r}")
+
+
+def write_verilog(module: Module) -> str:
+    """Emit a module AST as Verilog source text."""
+    lines: List[str] = []
+    port_names = [port.name for port in module.ports]
+    lines.append(f"module {module.name} (")
+    lines.append("  " + ", ".join(port_names))
+    lines.append(");")
+
+    for port in module.ports:
+        range_text = f"[{port.msb}:{port.lsb}] " if port.width > 1 else ""
+        reg_text = "reg " if port.is_reg else ""
+        lines.append(f"  {port.direction} {reg_text}{range_text}{port.name};")
+
+    for net in module.nets:
+        range_text = f"[{net.msb}:{net.lsb}] " if net.width > 1 else ""
+        lines.append(f"  {net.kind} {range_text}{net.name};")
+
+    for assign in module.assigns:
+        lines.append(
+            f"  assign {expression_to_verilog(assign.target)} = "
+            f"{expression_to_verilog(assign.value)};"
+        )
+
+    for block in module.always_blocks:
+        lines.append(f"  always @(posedge {block.clock}) begin")
+        for statement in block.body:
+            lines.extend(_statement_lines(statement, "    "))
+        lines.append("  end")
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def annotate_lines(
+    source: str,
+    signal_comments: Mapping[str, str],
+    header_comments: Sequence[str] = (),
+) -> str:
+    """Insert comments next to signal declaration lines in ``source``.
+
+    ``signal_comments`` maps a signal name to the comment text (without the
+    leading ``//``) to append to the line that declares it.  ``header_comments``
+    are inserted at the very top of the file.  Lines that do not declare an
+    annotated signal are returned unchanged, so the output remains valid
+    Verilog that diffs cleanly against the input.
+    """
+    annotated: List[str] = [f"// {text}" for text in header_comments]
+    remaining = dict(signal_comments)
+    for line in source.splitlines():
+        target: Optional[str] = None
+        stripped = line.strip()
+        if stripped.startswith(("reg", "wire", "input", "output")):
+            for name in list(remaining):
+                if _declares(stripped, name):
+                    target = name
+                    break
+        if target is not None:
+            annotated.append(f"{line}  // {remaining.pop(target)}")
+        else:
+            annotated.append(line)
+    return "\n".join(annotated) + "\n"
+
+
+def _declares(declaration_line: str, name: str) -> bool:
+    """True when a declaration statement declares the signal ``name``."""
+    body = declaration_line.split("//")[0].rstrip("; \t")
+    # Strip the range if present, then compare declared identifiers.
+    tokens = (
+        body.replace(",", " ")
+        .replace("]", "] ")
+        .split()
+    )
+    return name in tokens

@@ -1,0 +1,54 @@
+"""Minimal estimator protocol shared by the from-scratch ML models.
+
+No ML framework is available in this environment, so the models the paper
+uses (XGBoost-style boosted trees, MLPs, a transformer, LambdaMART and a GNN
+baseline) are implemented from scratch on numpy in this package.  They all
+follow the small fit/predict protocol defined here so the RTL-Timer pipeline
+can swap them freely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+
+class Estimator:
+    """Base class: parameter bookkeeping plus the fit/predict contract."""
+
+    def get_params(self) -> Dict[str, Any]:
+        """Public constructor parameters (attributes not ending in '_')."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.endswith("_") and not key.startswith("_")
+        }
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "Estimator":
+        raise NotImplementedError
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _check_fitted(self, attribute: str) -> None:
+        if not hasattr(self, attribute):
+            raise RuntimeError(
+                f"{type(self).__name__} must be fitted before calling predict()"
+            )
+
+
+def as_2d_array(features: Any) -> np.ndarray:
+    """Coerce input features to a contiguous 2-D float array."""
+    array = np.asarray(features, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {array.shape}")
+    return np.ascontiguousarray(array)
+
+
+def as_1d_array(targets: Any) -> np.ndarray:
+    """Coerce targets to a 1-D float array."""
+    array = np.asarray(targets, dtype=float).ravel()
+    return np.ascontiguousarray(array)

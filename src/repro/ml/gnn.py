@@ -1,0 +1,193 @@
+"""Message-passing graph neural network (the paper's customized baseline).
+
+The paper adapts a layout-stage GNN timing predictor as its baseline for
+bit-wise endpoint arrival-time prediction.  This module implements an
+equivalent model from scratch on numpy: a GraphSAGE-style network whose
+layers concatenate each node's representation with the mean of its fan-in
+neighbours' representations, followed by a linear head that predicts the
+arrival time at endpoint nodes only.
+
+Graphs are passed as :class:`GraphData` records (node features, directed
+fanin edges, endpoint node indices, endpoint labels); multiple designs are
+trained jointly by iterating over their graphs in each epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import Estimator, as_1d_array, as_2d_array
+from repro.ml.mlp import _AdamState
+
+
+@dataclass
+class GraphData:
+    """One design's graph for GNN training/inference."""
+
+    name: str
+    node_features: np.ndarray  # (n_nodes, n_features)
+    edge_src: np.ndarray  # fanin node ids
+    edge_dst: np.ndarray  # consumer node ids
+    endpoint_nodes: np.ndarray  # node ids whose arrival is supervised
+    endpoint_targets: np.ndarray  # arrival-time labels, aligned with endpoint_nodes
+
+    def __post_init__(self) -> None:
+        self.node_features = as_2d_array(self.node_features)
+        self.edge_src = np.asarray(self.edge_src, dtype=int).ravel()
+        self.edge_dst = np.asarray(self.edge_dst, dtype=int).ravel()
+        self.endpoint_nodes = np.asarray(self.endpoint_nodes, dtype=int).ravel()
+        self.endpoint_targets = as_1d_array(self.endpoint_targets)
+        if len(self.edge_src) != len(self.edge_dst):
+            raise ValueError("edge_src and edge_dst must have the same length")
+        if len(self.endpoint_nodes) != len(self.endpoint_targets):
+            raise ValueError("endpoint_nodes and endpoint_targets must align")
+
+
+class GNNRegressor(Estimator):
+    """GraphSAGE-style regressor supervised at endpoint nodes."""
+
+    def __init__(
+        self,
+        hidden_size: int = 48,
+        n_layers: int = 3,
+        learning_rate: float = 2e-3,
+        epochs: int = 150,
+        weight_decay: float = 1e-5,
+        seed: int = 0,
+    ):
+        self.hidden_size = hidden_size
+        self.n_layers = n_layers
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.weight_decay = weight_decay
+        self.seed = seed
+
+    # -- parameters ----------------------------------------------------------------
+
+    def _init_parameters(self, in_features: int) -> None:
+        rng = np.random.default_rng(self.seed)
+
+        def glorot(fan_in: int, fan_out: int) -> np.ndarray:
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+        self.weights_: List[np.ndarray] = []
+        self.biases_: List[np.ndarray] = []
+        size = in_features
+        for _ in range(self.n_layers):
+            self.weights_.append(glorot(2 * size, self.hidden_size))
+            self.biases_.append(np.zeros(self.hidden_size))
+            size = self.hidden_size
+        self.head_w_ = glorot(size, 1)
+        self.head_b_ = np.zeros(1)
+        self._adam_w_ = [_AdamState(w.shape) for w in self.weights_]
+        self._adam_b_ = [_AdamState(b.shape) for b in self.biases_]
+        self._adam_head_w_ = _AdamState(self.head_w_.shape)
+        self._adam_head_b_ = _AdamState(self.head_b_.shape)
+
+    # -- message passing -------------------------------------------------------------
+
+    @staticmethod
+    def _aggregate(hidden: np.ndarray, graph: GraphData) -> np.ndarray:
+        """Mean of fan-in neighbour representations for every node."""
+        n_nodes = hidden.shape[0]
+        sums = np.zeros_like(hidden)
+        np.add.at(sums, graph.edge_dst, hidden[graph.edge_src])
+        indegree = np.zeros(n_nodes)
+        np.add.at(indegree, graph.edge_dst, 1.0)
+        indegree = np.maximum(indegree, 1.0)
+        return sums / indegree[:, None]
+
+    def _forward(self, graph: GraphData) -> Tuple[np.ndarray, List[dict]]:
+        hidden = graph.node_features
+        caches: List[dict] = []
+        for weight, bias in zip(self.weights_, self.biases_):
+            aggregated = self._aggregate(hidden, graph)
+            combined = np.concatenate([hidden, aggregated], axis=1)
+            pre = combined @ weight + bias
+            activated = np.maximum(pre, 0.0)
+            caches.append({"combined": combined, "pre": pre})
+            hidden = activated
+        scores = (hidden @ self.head_w_ + self.head_b_).ravel()
+        caches.append({"final_hidden": hidden})
+        return scores, caches
+
+    def _backward(
+        self, graph: GraphData, caches: List[dict], node_output_grad: np.ndarray
+    ) -> None:
+        final_hidden = caches[-1]["final_hidden"]
+        d_scores = node_output_grad.reshape(-1, 1)
+        grad_head_w = final_hidden.T @ d_scores + self.weight_decay * self.head_w_
+        grad_head_b = d_scores.sum(axis=0)
+        d_hidden = d_scores @ self.head_w_.T
+
+        grads_w = [np.zeros_like(w) for w in self.weights_]
+        grads_b = [np.zeros_like(b) for b in self.biases_]
+
+        for layer in range(self.n_layers - 1, -1, -1):
+            cache = caches[layer]
+            d_pre = d_hidden * (cache["pre"] > 0.0)
+            grads_w[layer] = cache["combined"].T @ d_pre + self.weight_decay * self.weights_[layer]
+            grads_b[layer] = d_pre.sum(axis=0)
+            d_combined = d_pre @ self.weights_[layer].T
+            size = d_combined.shape[1] // 2
+            d_self = d_combined[:, :size]
+            d_aggregated = d_combined[:, size:]
+            # Back-propagate the mean aggregation to the fan-in nodes.
+            indegree = np.zeros(len(d_self))
+            np.add.at(indegree, graph.edge_dst, 1.0)
+            indegree = np.maximum(indegree, 1.0)
+            scattered = np.zeros_like(d_self)
+            np.add.at(
+                scattered,
+                graph.edge_src,
+                d_aggregated[graph.edge_dst] / indegree[graph.edge_dst, None],
+            )
+            d_hidden = d_self + scattered
+
+        # Adam updates.
+        for layer in range(self.n_layers):
+            self.weights_[layer] -= self._adam_w_[layer].update(grads_w[layer], self.learning_rate)
+            self.biases_[layer] -= self._adam_b_[layer].update(grads_b[layer], self.learning_rate)
+        self.head_w_ -= self._adam_head_w_.update(grad_head_w, self.learning_rate)
+        self.head_b_ -= self._adam_head_b_.update(grad_head_b, self.learning_rate)
+
+    # -- public API --------------------------------------------------------------------
+
+    def fit_graphs(self, graphs: Sequence[GraphData]) -> "GNNRegressor":
+        """Train on a collection of design graphs."""
+        if not graphs:
+            raise ValueError("at least one graph is required")
+        in_features = graphs[0].node_features.shape[1]
+        self._init_parameters(in_features)
+        self.train_losses_: List[float] = []
+
+        for _ in range(self.epochs):
+            epoch_loss = 0.0
+            for graph in graphs:
+                scores, caches = self._forward(graph)
+                predictions = scores[graph.endpoint_nodes]
+                residual = predictions - graph.endpoint_targets
+                loss = 0.5 * float(np.mean(residual**2))
+                node_grad = np.zeros_like(scores)
+                node_grad[graph.endpoint_nodes] = residual / max(len(residual), 1)
+                self._backward(graph, caches, node_grad)
+                epoch_loss += loss
+            self.train_losses_.append(epoch_loss / len(graphs))
+        return self
+
+    def predict_graph(self, graph: GraphData) -> np.ndarray:
+        """Predicted arrival time at the graph's endpoint nodes."""
+        self._check_fitted("weights_")
+        scores, _ = self._forward(graph)
+        return scores[graph.endpoint_nodes]
+
+    # The generic Estimator API maps onto single-graph usage.
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GNNRegressor":  # pragma: no cover
+        raise NotImplementedError("use fit_graphs() with GraphData records")
+
+    def predict(self, features: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError("use predict_graph() with a GraphData record")

@@ -1,0 +1,178 @@
+"""Multilayer perceptron regressor (numpy, Adam optimizer).
+
+Supports two training modes:
+
+* plain regression (``fit``): mean squared error on per-row targets,
+* grouped max-arrival training (``fit_grouped_max``): the paper's customized
+  loss, where every row is one sampled path, rows are grouped per endpoint,
+  and the endpoint prediction is the (soft) maximum over its paths.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import Estimator, as_1d_array, as_2d_array
+from repro.ml.losses import (
+    grouped_max_loss_and_gradient,
+    grouped_softmax_loss_and_gradient,
+)
+
+
+class _AdamState:
+    """Adam optimizer state for one parameter tensor."""
+
+    def __init__(self, shape: Tuple[int, ...]):
+        self.m = np.zeros(shape)
+        self.v = np.zeros(shape)
+        self.t = 0
+
+    def update(self, gradient: np.ndarray, lr: float, beta1=0.9, beta2=0.999, eps=1e-8) -> np.ndarray:
+        self.t += 1
+        self.m = beta1 * self.m + (1 - beta1) * gradient
+        self.v = beta2 * self.v + (1 - beta2) * gradient**2
+        m_hat = self.m / (1 - beta1**self.t)
+        v_hat = self.v / (1 - beta2**self.t)
+        return lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class MLPRegressor(Estimator):
+    """Fully connected network with ReLU activations and an Adam optimizer."""
+
+    def __init__(
+        self,
+        hidden_sizes: Sequence[int] = (512, 512, 512),
+        learning_rate: float = 1e-3,
+        epochs: int = 120,
+        batch_size: int = 256,
+        weight_decay: float = 1e-5,
+        seed: int = 0,
+        verbose: bool = False,
+    ):
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.weight_decay = weight_decay
+        self.seed = seed
+        self.verbose = verbose
+
+    # -- parameter handling -----------------------------------------------------
+
+    def _init_parameters(self, n_features: int) -> None:
+        rng = np.random.default_rng(self.seed)
+        sizes = [n_features, *self.hidden_sizes, 1]
+        self.weights_: List[np.ndarray] = []
+        self.biases_: List[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights_.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+        self._adam_w_ = [_AdamState(w.shape) for w in self.weights_]
+        self._adam_b_ = [_AdamState(b.shape) for b in self.biases_]
+
+    # -- forward / backward -------------------------------------------------------
+
+    def _forward(self, X: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        activations = [X]
+        hidden = X
+        for layer, (weight, bias) in enumerate(zip(self.weights_, self.biases_)):
+            pre = hidden @ weight + bias
+            if layer < len(self.weights_) - 1:
+                hidden = np.maximum(pre, 0.0)
+            else:
+                hidden = pre
+            activations.append(hidden)
+        return hidden.ravel(), activations
+
+    def _backward(
+        self, activations: List[np.ndarray], output_gradient: np.ndarray
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        grad_w = [np.zeros_like(w) for w in self.weights_]
+        grad_b = [np.zeros_like(b) for b in self.biases_]
+        delta = output_gradient.reshape(-1, 1)
+        for layer in range(len(self.weights_) - 1, -1, -1):
+            grad_w[layer] = activations[layer].T @ delta + self.weight_decay * self.weights_[layer]
+            grad_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = delta @ self.weights_[layer].T
+                delta = delta * (activations[layer] > 0.0)
+        return grad_w, grad_b
+
+    def _apply_gradients(self, grad_w, grad_b) -> None:
+        for layer in range(len(self.weights_)):
+            self.weights_[layer] -= self._adam_w_[layer].update(grad_w[layer], self.learning_rate)
+            self.biases_[layer] -= self._adam_b_[layer].update(grad_b[layer], self.learning_rate)
+
+    # -- public API ---------------------------------------------------------------
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "MLPRegressor":
+        X = as_2d_array(features)
+        y = as_1d_array(targets)
+        if len(X) != len(y):
+            raise ValueError("features and targets must have the same number of rows")
+        self._init_parameters(X.shape[1])
+        rng = np.random.default_rng(self.seed)
+        self.train_losses_: List[float] = []
+
+        for epoch in range(self.epochs):
+            order = rng.permutation(len(X))
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, len(X), self.batch_size):
+                batch = order[start : start + self.batch_size]
+                predictions, activations = self._forward(X[batch])
+                residual = predictions - y[batch]
+                loss = 0.5 * float(np.mean(residual**2))
+                output_gradient = residual / len(batch)
+                grad_w, grad_b = self._backward(activations, output_gradient)
+                self._apply_gradients(grad_w, grad_b)
+                epoch_loss += loss
+                n_batches += 1
+            self.train_losses_.append(epoch_loss / max(n_batches, 1))
+            if self.verbose and epoch % 10 == 0:
+                print(f"epoch {epoch}: loss {self.train_losses_[-1]:.5f}")
+        return self
+
+    def fit_grouped_max(
+        self,
+        features: np.ndarray,
+        groups: np.ndarray,
+        group_targets: np.ndarray,
+        softmax_temperature: Optional[float] = 6.0,
+    ) -> "MLPRegressor":
+        """Train with the max arrival-time loss over path groups.
+
+        During the first half of training a smooth log-sum-exp maximum is used
+        (gradient reaches every sampled path); the second half switches to the
+        hard maximum, matching Equation 3 of the paper.
+        """
+        X = as_2d_array(features)
+        groups = np.asarray(groups, dtype=int).ravel()
+        y_group = as_1d_array(group_targets)
+        if len(X) != len(groups):
+            raise ValueError("features and groups must align")
+        self._init_parameters(X.shape[1])
+        self.train_losses_ = []
+
+        for epoch in range(self.epochs):
+            predictions, activations = self._forward(X)
+            use_soft = softmax_temperature is not None and epoch < self.epochs // 2
+            if use_soft:
+                loss, gradient = grouped_softmax_loss_and_gradient(
+                    predictions, groups, y_group, temperature=softmax_temperature
+                )
+            else:
+                loss, gradient = grouped_max_loss_and_gradient(predictions, groups, y_group)
+            grad_w, grad_b = self._backward(activations, gradient)
+            self._apply_gradients(grad_w, grad_b)
+            self.train_losses_.append(loss)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted("weights_")
+        X = as_2d_array(features)
+        predictions, _ = self._forward(X)
+        return predictions

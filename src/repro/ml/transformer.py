@@ -1,0 +1,283 @@
+"""Transformer path model (single-head encoder + MLP head, numpy).
+
+The paper compares a model that applies a transformer to the *local* timing
+path (the sequence of operators along a sampled path) and fuses it with an
+MLP over the global design/cone features.  This module implements that model
+from scratch:
+
+* every path is a sequence of per-operator token feature vectors,
+* a learned input projection + single-head self-attention + position-wise
+  feed-forward encoder produces contextualized tokens,
+* mean pooling over tokens is concatenated with the global feature vector and
+  fed to a two-layer MLP head that predicts the path arrival time.
+
+Training uses Adam on mean squared error (optionally through the grouped max
+loss, like the other path models).  The implementation favours clarity over
+speed: sequences are padded to a common length and processed as dense
+batches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import Estimator, as_1d_array, as_2d_array
+from repro.ml.losses import grouped_max_loss_and_gradient
+from repro.ml.mlp import _AdamState
+
+
+def pad_sequences(sequences: Sequence[np.ndarray], max_length: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Pad a list of (length x d) token matrices into a dense batch.
+
+    Returns ``(tokens, mask)`` where ``tokens`` has shape
+    ``(n_sequences, max_length, d)`` and ``mask`` is 1.0 for real tokens.
+    """
+    if not sequences:
+        raise ValueError("at least one sequence is required")
+    dim = sequences[0].shape[1]
+    length = max_length or max(len(s) for s in sequences)
+    tokens = np.zeros((len(sequences), length, dim))
+    mask = np.zeros((len(sequences), length))
+    for index, sequence in enumerate(sequences):
+        usable = min(len(sequence), length)
+        tokens[index, :usable] = sequence[-usable:]
+        mask[index, :usable] = 1.0
+    return tokens, mask
+
+
+class TransformerPathRegressor(Estimator):
+    """Single-head transformer encoder over path tokens plus a global MLP."""
+
+    def __init__(
+        self,
+        d_model: int = 24,
+        d_ff: int = 48,
+        head_hidden: int = 64,
+        learning_rate: float = 2e-3,
+        epochs: int = 80,
+        batch_size: int = 128,
+        max_length: int = 24,
+        seed: int = 0,
+    ):
+        self.d_model = d_model
+        self.d_ff = d_ff
+        self.head_hidden = head_hidden
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.max_length = max_length
+        self.seed = seed
+
+    # -- parameters ----------------------------------------------------------------
+
+    def _init_parameters(self, token_dim: int, global_dim: int) -> None:
+        rng = np.random.default_rng(self.seed)
+
+        def glorot(fan_in: int, fan_out: int) -> np.ndarray:
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+        d = self.d_model
+        self.params_ = {
+            "embed": glorot(token_dim, d),
+            "pos": 0.01 * rng.standard_normal((self.max_length, d)),
+            "wq": glorot(d, d),
+            "wk": glorot(d, d),
+            "wv": glorot(d, d),
+            "wo": glorot(d, d),
+            "ff1": glorot(d, self.d_ff),
+            "ff1_b": np.zeros(self.d_ff),
+            "ff2": glorot(self.d_ff, d),
+            "ff2_b": np.zeros(d),
+            "head1": glorot(d + global_dim, self.head_hidden),
+            "head1_b": np.zeros(self.head_hidden),
+            "head2": glorot(self.head_hidden, 1),
+            "head2_b": np.zeros(1),
+        }
+        self._adam_ = {key: _AdamState(value.shape) for key, value in self.params_.items()}
+
+    # -- forward -------------------------------------------------------------------
+
+    def _forward(
+        self, tokens: np.ndarray, mask: np.ndarray, global_features: np.ndarray
+    ) -> Tuple[np.ndarray, dict]:
+        p = self.params_
+        batch, length, _ = tokens.shape
+        scale = 1.0 / np.sqrt(self.d_model)
+
+        embedded = tokens @ p["embed"] + p["pos"][:length][None, :, :]
+        q = embedded @ p["wq"]
+        k = embedded @ p["wk"]
+        v = embedded @ p["wv"]
+
+        scores = np.einsum("bld,bmd->blm", q, k) * scale
+        scores = scores + (mask[:, None, :] - 1.0) * 1e9  # mask out padding keys
+        scores = scores - scores.max(axis=-1, keepdims=True)
+        attention = np.exp(scores)
+        attention = attention / attention.sum(axis=-1, keepdims=True)
+
+        attended = np.einsum("blm,bmd->bld", attention, v) @ p["wo"]
+        encoded = embedded + attended  # residual connection
+
+        ff_pre = encoded @ p["ff1"] + p["ff1_b"]
+        ff_act = np.maximum(ff_pre, 0.0)
+        ff_out = ff_act @ p["ff2"] + p["ff2_b"]
+        encoded2 = encoded + ff_out  # residual connection
+
+        token_counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        pooled = (encoded2 * mask[:, :, None]).sum(axis=1) / token_counts
+
+        head_in = np.concatenate([pooled, global_features], axis=1)
+        hidden_pre = head_in @ p["head1"] + p["head1_b"]
+        hidden = np.maximum(hidden_pre, 0.0)
+        output = (hidden @ p["head2"] + p["head2_b"]).ravel()
+
+        cache = {
+            "tokens": tokens,
+            "mask": mask,
+            "global": global_features,
+            "embedded": embedded,
+            "q": q,
+            "k": k,
+            "v": v,
+            "attention": attention,
+            "attended_pre_wo": np.einsum("blm,bmd->bld", attention, v),
+            "encoded": encoded,
+            "ff_pre": ff_pre,
+            "ff_act": ff_act,
+            "encoded2": encoded2,
+            "token_counts": token_counts,
+            "pooled": pooled,
+            "head_in": head_in,
+            "hidden_pre": hidden_pre,
+            "hidden": hidden,
+            "scale": scale,
+        }
+        return output, cache
+
+    # -- backward ------------------------------------------------------------------
+
+    def _backward(self, cache: dict, output_gradient: np.ndarray) -> dict:
+        p = self.params_
+        grads = {key: np.zeros_like(value) for key, value in p.items()}
+        batch = len(output_gradient)
+
+        d_output = output_gradient.reshape(-1, 1)
+        grads["head2"] = cache["hidden"].T @ d_output
+        grads["head2_b"] = d_output.sum(axis=0)
+        d_hidden = d_output @ p["head2"].T
+        d_hidden_pre = d_hidden * (cache["hidden_pre"] > 0.0)
+        grads["head1"] = cache["head_in"].T @ d_hidden_pre
+        grads["head1_b"] = d_hidden_pre.sum(axis=0)
+        d_head_in = d_hidden_pre @ p["head1"].T
+
+        d_pooled = d_head_in[:, : self.d_model]
+        # (the gradient w.r.t. global features is not needed)
+
+        mask = cache["mask"]
+        d_encoded2 = (
+            d_pooled[:, None, :] * mask[:, :, None] / cache["token_counts"][:, :, None]
+        )
+
+        # Feed-forward block (residual).
+        d_ff_out = d_encoded2
+        grads["ff2"] = np.einsum("blf,bld->fd", cache["ff_act"], d_ff_out)
+        grads["ff2_b"] = d_ff_out.sum(axis=(0, 1))
+        d_ff_act = d_ff_out @ p["ff2"].T
+        d_ff_pre = d_ff_act * (cache["ff_pre"] > 0.0)
+        grads["ff1"] = np.einsum("bld,blf->df", cache["encoded"], d_ff_pre)
+        grads["ff1_b"] = d_ff_pre.sum(axis=(0, 1))
+        d_encoded = d_encoded2 + d_ff_pre @ p["ff1"].T
+
+        # Attention block (residual).
+        d_attended = d_encoded
+        grads["wo"] = np.einsum("bld,ble->de", cache["attended_pre_wo"], d_attended)
+        d_attn_out = d_attended @ p["wo"].T
+        d_attention = np.einsum("bld,bmd->blm", d_attn_out, cache["v"])
+        d_v = np.einsum("blm,bld->bmd", cache["attention"], d_attn_out)
+
+        attention = cache["attention"]
+        d_scores = attention * (
+            d_attention - (d_attention * attention).sum(axis=-1, keepdims=True)
+        )
+        scale = cache["scale"]
+        d_q = np.einsum("blm,bmd->bld", d_scores, cache["k"]) * scale
+        d_k = np.einsum("blm,bld->bmd", d_scores, cache["q"]) * scale
+
+        embedded = cache["embedded"]
+        grads["wq"] = np.einsum("bld,ble->de", embedded, d_q)
+        grads["wk"] = np.einsum("bld,ble->de", embedded, d_k)
+        grads["wv"] = np.einsum("bld,ble->de", embedded, d_v)
+
+        d_embedded = (
+            d_encoded  # residual path
+            + d_q @ p["wq"].T
+            + d_k @ p["wk"].T
+            + d_v @ p["wv"].T
+        )
+        grads["embed"] = np.einsum("blt,bld->td", cache["tokens"], d_embedded)
+        grads["pos"][: d_embedded.shape[1]] = d_embedded.sum(axis=0)
+        return grads
+
+    def _apply(self, grads: dict) -> None:
+        for key, gradient in grads.items():
+            self.params_[key] -= self._adam_[key].update(gradient, self.learning_rate)
+
+    # -- public API ----------------------------------------------------------------
+
+    def fit(
+        self,
+        sequences: Sequence[np.ndarray],
+        global_features: np.ndarray,
+        targets: np.ndarray,
+        groups: Optional[np.ndarray] = None,
+        group_targets: Optional[np.ndarray] = None,
+    ) -> "TransformerPathRegressor":
+        """Train on path token sequences plus global features.
+
+        When ``groups``/``group_targets`` are given, the grouped max
+        arrival-time loss is used (one group per endpoint); otherwise plain
+        per-row mean squared error.
+        """
+        tokens, mask = pad_sequences(sequences, self.max_length)
+        global_features = as_2d_array(global_features)
+        y = as_1d_array(targets)
+        self._init_parameters(tokens.shape[2], global_features.shape[1])
+        rng = np.random.default_rng(self.seed)
+        self.train_losses_: List[float] = []
+        use_grouped = groups is not None and group_targets is not None
+        if use_grouped:
+            groups = np.asarray(groups, dtype=int).ravel()
+            group_targets = as_1d_array(group_targets)
+
+        for _ in range(self.epochs):
+            if use_grouped:
+                predictions, cache = self._forward(tokens, mask, global_features)
+                loss, gradient = grouped_max_loss_and_gradient(predictions, groups, group_targets)
+                grads = self._backward(cache, gradient)
+                self._apply(grads)
+                self.train_losses_.append(loss)
+            else:
+                order = rng.permutation(len(y))
+                epoch_loss, n_batches = 0.0, 0
+                for start in range(0, len(y), self.batch_size):
+                    batch = order[start : start + self.batch_size]
+                    predictions, cache = self._forward(
+                        tokens[batch], mask[batch], global_features[batch]
+                    )
+                    residual = predictions - y[batch]
+                    gradient = residual / len(batch)
+                    grads = self._backward(cache, gradient)
+                    self._apply(grads)
+                    epoch_loss += 0.5 * float(np.mean(residual**2))
+                    n_batches += 1
+                self.train_losses_.append(epoch_loss / max(n_batches, 1))
+        return self
+
+    def predict(self, sequences: Sequence[np.ndarray], global_features: np.ndarray) -> np.ndarray:
+        self._check_fitted("params_")
+        tokens, mask = pad_sequences(sequences, self.max_length)
+        predictions, _ = self._forward(tokens, mask, as_2d_array(global_features))
+        return predictions

@@ -1,0 +1,312 @@
+"""Regression trees (CART) used standalone and inside gradient boosting.
+
+The splitter is an exact, variance-reduction splitter over sorted feature
+columns with the usual regularization knobs (max depth, minimum samples per
+leaf, feature subsampling).  Leaf values can be plain means (standalone use)
+or Newton steps from per-sample gradients/hessians (XGBoost-style boosting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.ml.base import Estimator, as_1d_array, as_2d_array
+
+
+@dataclass
+class _Node:
+    """One node of a fitted tree (leaf when ``feature`` is None)."""
+
+    value: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class DecisionTreeRegressor(Estimator):
+    """CART regression tree with exact variance-reduction splits."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 8,
+        min_samples_leaf: int = 3,
+        max_features: Optional[float] = None,
+        min_impurity_decrease: float = 1e-9,
+        seed: int = 0,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.seed = seed
+
+    # -- public ---------------------------------------------------------------
+
+    def fit(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "DecisionTreeRegressor":
+        X = as_2d_array(features)
+        y = as_1d_array(targets)
+        if len(X) != len(y):
+            raise ValueError("features and targets must have the same number of rows")
+        if len(X) == 0:
+            raise ValueError("cannot fit a tree on an empty dataset")
+        weights = (
+            np.ones(len(y)) if sample_weight is None else as_1d_array(sample_weight)
+        )
+        self._rng_ = np.random.default_rng(self.seed)
+        self.n_features_ = X.shape[1]
+        self.root_ = self._build(X, y, weights, depth=0)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted("root_")
+        X = as_2d_array(features)
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            out[i] = self._predict_row(row)
+        return out
+
+    def depth(self) -> int:
+        """Depth of the fitted tree (a single leaf has depth 0)."""
+        self._check_fitted("root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    def n_leaves(self) -> int:
+        """Number of leaves of the fitted tree."""
+        self._check_fitted("root_")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.root_)
+
+    # -- internals --------------------------------------------------------------
+
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def _leaf_value(self, y: np.ndarray, weights: np.ndarray) -> float:
+        total = weights.sum()
+        if total <= 0:
+            return float(y.mean()) if len(y) else 0.0
+        return float(np.dot(y, weights) / total)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, weights: np.ndarray, depth: int) -> _Node:
+        value = self._leaf_value(y, weights)
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or np.all(y == y[0])
+        ):
+            return _Node(value=value)
+
+        split = self._best_split(X, y, weights)
+        if split is None:
+            return _Node(value=value)
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        left = self._build(X[mask], y[mask], weights[mask], depth + 1)
+        right = self._build(X[~mask], y[~mask], weights[~mask], depth + 1)
+        return _Node(value=value, feature=feature, threshold=threshold, left=left, right=right)
+
+    def _candidate_features(self) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(self.n_features_)
+        count = max(1, int(round(self.max_features * self.n_features_)))
+        return self._rng_.choice(self.n_features_, size=count, replace=False)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, weights: np.ndarray
+    ) -> Optional[Tuple[int, float]]:
+        """Return (feature, threshold) minimizing weighted squared error."""
+        best_gain = self.min_impurity_decrease
+        best: Optional[Tuple[int, float]] = None
+        total_weight = weights.sum()
+        total_sum = np.dot(y, weights)
+        parent_score = total_sum * total_sum / total_weight if total_weight > 0 else 0.0
+
+        for feature in self._candidate_features():
+            column = X[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_x = column[order]
+            sorted_y = y[order]
+            sorted_w = weights[order]
+
+            cum_weight = np.cumsum(sorted_w)
+            cum_sum = np.cumsum(sorted_y * sorted_w)
+
+            # Candidate split positions: between distinct consecutive values.
+            distinct = np.nonzero(np.diff(sorted_x) > 0)[0]
+            if len(distinct) == 0:
+                continue
+            left_weight = cum_weight[distinct]
+            left_sum = cum_sum[distinct]
+            right_weight = total_weight - left_weight
+            right_sum = total_sum - left_sum
+
+            counts_left = distinct + 1
+            counts_right = len(y) - counts_left
+            valid = (counts_left >= self.min_samples_leaf) & (
+                counts_right >= self.min_samples_leaf
+            )
+            if not np.any(valid):
+                continue
+
+            with np.errstate(divide="ignore", invalid="ignore"):
+                score = np.where(
+                    valid,
+                    left_sum**2 / np.maximum(left_weight, 1e-12)
+                    + right_sum**2 / np.maximum(right_weight, 1e-12),
+                    -np.inf,
+                )
+            gain = score - parent_score
+            index = int(np.argmax(gain))
+            if gain[index] > best_gain:
+                best_gain = float(gain[index])
+                position = distinct[index]
+                threshold = 0.5 * (sorted_x[position] + sorted_x[position + 1])
+                best = (int(feature), float(threshold))
+        return best
+
+
+class NewtonTreeRegressor(DecisionTreeRegressor):
+    """Tree fitted on gradients/hessians with Newton-step leaf values.
+
+    Used by :class:`repro.ml.gbm.GradientBoostingRegressor` in XGBoost mode:
+    splits maximize the standard second-order gain
+    ``G_l^2/(H_l + lambda) + G_r^2/(H_r + lambda) - G^2/(H + lambda)`` and the
+    leaf value is ``-G/(H + lambda)``.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 8,
+        min_samples_leaf: int = 3,
+        max_features: Optional[float] = None,
+        reg_lambda: float = 1.0,
+        min_gain: float = 1e-9,
+        seed: int = 0,
+    ):
+        super().__init__(
+            max_depth=max_depth,
+            min_samples_split=min_samples_split,
+            min_samples_leaf=min_samples_leaf,
+            max_features=max_features,
+            min_impurity_decrease=min_gain,
+            seed=seed,
+        )
+        self.reg_lambda = reg_lambda
+
+    def fit_gradients(
+        self, features: np.ndarray, gradients: np.ndarray, hessians: np.ndarray
+    ) -> "NewtonTreeRegressor":
+        """Fit the tree from per-sample gradients and hessians."""
+        X = as_2d_array(features)
+        grad = as_1d_array(gradients)
+        hess = as_1d_array(hessians)
+        if not (len(X) == len(grad) == len(hess)):
+            raise ValueError("features, gradients and hessians must align")
+        self._rng_ = np.random.default_rng(self.seed)
+        self.n_features_ = X.shape[1]
+        self.root_ = self._build_newton(X, grad, hess, depth=0)
+        return self
+
+    def fit(self, features, targets, sample_weight=None):  # type: ignore[override]
+        """Plain regression fit: equivalent to one Newton step on squared loss."""
+        y = as_1d_array(targets)
+        gradients = -y
+        hessians = np.ones_like(y)
+        return self.fit_gradients(features, gradients, hessians)
+
+    # -- internals --------------------------------------------------------------
+
+    def _newton_value(self, grad: np.ndarray, hess: np.ndarray) -> float:
+        return float(-grad.sum() / (hess.sum() + self.reg_lambda))
+
+    def _build_newton(
+        self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray, depth: int
+    ) -> _Node:
+        value = self._newton_value(grad, hess)
+        if depth >= self.max_depth or len(grad) < self.min_samples_split:
+            return _Node(value=value)
+        split = self._best_newton_split(X, grad, hess)
+        if split is None:
+            return _Node(value=value)
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        left = self._build_newton(X[mask], grad[mask], hess[mask], depth + 1)
+        right = self._build_newton(X[~mask], grad[~mask], hess[~mask], depth + 1)
+        return _Node(value=value, feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_newton_split(
+        self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray
+    ) -> Optional[Tuple[int, float]]:
+        lam = self.reg_lambda
+        total_g = grad.sum()
+        total_h = hess.sum()
+        parent_score = total_g * total_g / (total_h + lam)
+        best_gain = self.min_impurity_decrease
+        best: Optional[Tuple[int, float]] = None
+
+        for feature in self._candidate_features():
+            column = X[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_x = column[order]
+            cum_g = np.cumsum(grad[order])
+            cum_h = np.cumsum(hess[order])
+
+            distinct = np.nonzero(np.diff(sorted_x) > 0)[0]
+            if len(distinct) == 0:
+                continue
+            left_g = cum_g[distinct]
+            left_h = cum_h[distinct]
+            right_g = total_g - left_g
+            right_h = total_h - left_h
+
+            counts_left = distinct + 1
+            counts_right = len(grad) - counts_left
+            valid = (counts_left >= self.min_samples_leaf) & (
+                counts_right >= self.min_samples_leaf
+            )
+            if not np.any(valid):
+                continue
+
+            score = np.where(
+                valid,
+                left_g**2 / (left_h + lam) + right_g**2 / (right_h + lam),
+                -np.inf,
+            )
+            gain = score - parent_score
+            index = int(np.argmax(gain))
+            if gain[index] > best_gain:
+                best_gain = float(gain[index])
+                position = distinct[index]
+                threshold = 0.5 * (sorted_x[position] + sorted_x[position + 1])
+                best = (int(feature), float(threshold))
+        return best

@@ -1,0 +1,20 @@
+"""Physical design substrate (placement + wire delay, Innovus stand-in)."""
+
+from repro.physical.placement import (
+    Placement,
+    WIRE_CAP_PER_UM,
+    apply_wire_loads,
+    clear_wire_loads,
+    place,
+)
+from repro.physical.flow import PlacementResult, place_and_optimize
+
+__all__ = [
+    "Placement",
+    "WIRE_CAP_PER_UM",
+    "apply_wire_loads",
+    "clear_wire_loads",
+    "place",
+    "PlacementResult",
+    "place_and_optimize",
+]

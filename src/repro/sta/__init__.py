@@ -1,0 +1,40 @@
+"""Static timing analysis substrate (PrimeTime stand-in plus pseudo-STA)."""
+
+from repro.sta.constraints import ClockConstraint
+from repro.sta.network import (
+    TimingEndpoint,
+    TimingNetwork,
+    TimingVertex,
+    VertexKind,
+    from_bog,
+)
+from repro.sta.engine import EndpointTiming, STAReport, analyze, compute_loads
+from repro.sta.paths import (
+    TimingPath,
+    driving_launch_points,
+    input_cone,
+    path_arrival,
+    path_cells,
+    sample_random_path,
+    trace_critical_path,
+)
+
+__all__ = [
+    "ClockConstraint",
+    "TimingEndpoint",
+    "TimingNetwork",
+    "TimingVertex",
+    "VertexKind",
+    "from_bog",
+    "EndpointTiming",
+    "STAReport",
+    "analyze",
+    "compute_loads",
+    "TimingPath",
+    "driving_launch_points",
+    "input_cone",
+    "path_arrival",
+    "path_cells",
+    "sample_random_path",
+    "trace_critical_path",
+]

@@ -1,0 +1,52 @@
+"""Timing constraints (SDC-lite).
+
+The paper assumes a single clock with a fixed period; slack at an endpoint is
+therefore determined entirely by the data arrival time.  This module models
+exactly that: one :class:`ClockConstraint` describing the clock period plus
+the launch/capture margins that STA subtracts from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClockConstraint:
+    """Single-clock timing constraint.
+
+    Attributes
+    ----------
+    period:
+        Clock period in picoseconds.
+    uncertainty:
+        Clock uncertainty (jitter/skew margin) subtracted from the period.
+    input_delay:
+        Arrival time assumed at primary inputs.
+    input_slew:
+        Transition time assumed at primary inputs and register outputs.
+    """
+
+    period: float
+    uncertainty: float = 0.0
+    input_delay: float = 0.0
+    input_slew: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("clock period must be positive")
+        if self.uncertainty < 0:
+            raise ValueError("clock uncertainty cannot be negative")
+
+    def required_time(self, setup_time: float) -> float:
+        """Data required time at an endpoint with the given setup time."""
+        return self.period - self.uncertainty - setup_time
+
+    def scaled(self, factor: float) -> "ClockConstraint":
+        """Return a new constraint with the period scaled by ``factor``."""
+        return ClockConstraint(
+            period=self.period * factor,
+            uncertainty=self.uncertainty,
+            input_delay=self.input_delay,
+            input_slew=self.input_slew,
+        )

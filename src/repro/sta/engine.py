@@ -1,0 +1,198 @@
+"""Static timing analysis engine.
+
+A single-corner, setup-only STA over :class:`~repro.sta.network.TimingNetwork`
+graphs.  It propagates arrival times and transition times (slews) in
+topological order using the NLDM-style cell delay model of
+:mod:`repro.synth.library`, computes per-endpoint slack against a
+:class:`~repro.sta.constraints.ClockConstraint`, and reports WNS / TNS —
+the quantities PrimeTime provides in the paper's flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sta.constraints import ClockConstraint
+from repro.sta.network import TimingEndpoint, TimingNetwork, VertexKind
+
+
+@dataclass
+class EndpointTiming:
+    """Timing result at one endpoint."""
+
+    name: str
+    signal: str
+    bit: int
+    kind: str
+    arrival: float
+    slack: float
+    driver: int
+
+    @property
+    def is_violated(self) -> bool:
+        return self.slack < 0.0
+
+
+@dataclass
+class STAReport:
+    """Complete result of one STA run."""
+
+    design: str
+    clock: ClockConstraint
+    arrivals: np.ndarray
+    slews: np.ndarray
+    loads: np.ndarray
+    endpoints: List[EndpointTiming]
+    wns: float
+    tns: float
+
+    _by_name: Dict[str, EndpointTiming] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_name = {e.name: e for e in self.endpoints}
+
+    def endpoint(self, name: str) -> EndpointTiming:
+        """Look up one endpoint's timing by bit-level name."""
+        return self._by_name[name]
+
+    def register_endpoints(self) -> List[EndpointTiming]:
+        return [e for e in self.endpoints if e.kind == "register"]
+
+    def endpoint_arrivals(self) -> Dict[str, float]:
+        """Bit-level endpoint name -> arrival time."""
+        return {e.name: e.arrival for e in self.endpoints}
+
+    def endpoint_slacks(self) -> Dict[str, float]:
+        """Bit-level endpoint name -> slack."""
+        return {e.name: e.slack for e in self.endpoints}
+
+    def signal_arrivals(self) -> Dict[str, float]:
+        """Word-level signal name -> max arrival time over its bits."""
+        arrivals: Dict[str, float] = {}
+        for endpoint in self.endpoints:
+            current = arrivals.get(endpoint.signal)
+            if current is None or endpoint.arrival > current:
+                arrivals[endpoint.signal] = endpoint.arrival
+        return arrivals
+
+    def signal_slacks(self) -> Dict[str, float]:
+        """Word-level signal name -> worst slack over its bits."""
+        slacks: Dict[str, float] = {}
+        for endpoint in self.endpoints:
+            current = slacks.get(endpoint.signal)
+            if current is None or endpoint.slack < current:
+                slacks[endpoint.signal] = endpoint.slack
+        return slacks
+
+    def violated_endpoints(self) -> List[EndpointTiming]:
+        return [e for e in self.endpoints if e.is_violated]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "wns": self.wns,
+            "tns": self.tns,
+            "n_endpoints": float(len(self.endpoints)),
+            "n_violated": float(len(self.violated_endpoints())),
+            "max_arrival": float(max((e.arrival for e in self.endpoints), default=0.0)),
+        }
+
+
+def compute_loads(network: TimingNetwork) -> np.ndarray:
+    """Output load of every vertex: fanin pin caps of consumers plus wire load."""
+    loads = np.zeros(len(network.vertices))
+    for vertex in network.vertices:
+        if vertex.cell is None:
+            continue
+        for fanin in vertex.fanins:
+            loads[fanin] += vertex.cell.input_cap
+    for endpoint in network.endpoints:
+        loads[endpoint.driver] += endpoint.pin_capacitance
+    for vertex in network.vertices:
+        loads[vertex.id] += vertex.extra_load
+    return loads
+
+
+def analyze(
+    network: TimingNetwork,
+    clock: ClockConstraint,
+    loads: Optional[np.ndarray] = None,
+) -> STAReport:
+    """Run setup STA on ``network`` against ``clock``."""
+    n = len(network.vertices)
+    if loads is None:
+        loads = compute_loads(network)
+    arrivals = np.zeros(n)
+    slews = np.full(n, clock.input_slew)
+
+    for vertex_id in network.topological_order():
+        vertex = network.vertices[vertex_id]
+        if vertex.kind is VertexKind.CONST:
+            arrivals[vertex.id] = 0.0
+            slews[vertex.id] = clock.input_slew
+        elif vertex.kind is VertexKind.INPUT:
+            arrivals[vertex.id] = clock.input_delay
+            slews[vertex.id] = clock.input_slew
+        elif vertex.kind is VertexKind.REGISTER:
+            cell = vertex.cell
+            clk_to_q = cell.clk_to_q if cell is not None else 0.0
+            resistance = cell.resistance if cell is not None else 0.0
+            arrivals[vertex.id] = clk_to_q + resistance * loads[vertex.id]
+            slews[vertex.id] = (
+                cell.output_slew(loads[vertex.id]) if cell is not None else clock.input_slew
+            )
+        else:  # combinational gate
+            cell = vertex.cell
+            assert cell is not None
+            load = loads[vertex.id]
+            best = 0.0
+            for fanin in vertex.fanins:
+                candidate = arrivals[fanin] + vertex.derate * cell.delay(slews[fanin], load)
+                if candidate > best:
+                    best = candidate
+            arrivals[vertex.id] = best
+            slews[vertex.id] = cell.output_slew(load)
+
+    endpoints: List[EndpointTiming] = []
+    for endpoint in network.endpoints:
+        arrival = float(arrivals[endpoint.driver])
+        required = clock.required_time(endpoint.setup_time)
+        slack = required - arrival
+        endpoints.append(
+            EndpointTiming(
+                name=endpoint.name,
+                signal=endpoint.signal,
+                bit=endpoint.bit,
+                kind=endpoint.kind,
+                arrival=arrival,
+                slack=slack,
+                driver=endpoint.driver,
+            )
+        )
+
+    negative = [e.slack for e in endpoints if e.slack < 0.0]
+    wns = float(min(negative)) if negative else 0.0
+    tns = float(sum(negative)) if negative else 0.0
+
+    return STAReport(
+        design=network.name,
+        clock=clock,
+        arrivals=arrivals,
+        slews=slews,
+        loads=loads,
+        endpoints=endpoints,
+        wns=wns,
+        tns=tns,
+    )
+
+
+def arrival_delay_of(
+    network: TimingNetwork, report: STAReport, vertex_id: int, fanin: int
+) -> float:
+    """Delay contribution of edge ``fanin -> vertex`` under the analyzed state."""
+    vertex = network.vertices[vertex_id]
+    if vertex.cell is None:
+        return 0.0
+    return vertex.derate * vertex.cell.delay(report.slews[fanin], report.loads[vertex_id])

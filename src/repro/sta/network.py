@@ -1,0 +1,219 @@
+"""Generic timing network: the structure the STA engine analyzes.
+
+Both the BOG "pseudo netlist" (via :func:`from_bog`) and the synthesized
+gate-level netlist (via :meth:`repro.synth.netlist.Netlist.to_timing_network`)
+are lowered into this representation, so a single STA engine serves the whole
+flow — exactly the role PrimeTime plays in the paper, plus the pseudo-STA the
+paper runs directly on the RTL representation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bog.graph import BOG, NodeType
+from repro.liberty import Cell, Library, PSEUDO_FUNCTION_OF_NODE, pseudo_library
+
+
+class VertexKind(enum.Enum):
+    """Role of a vertex in the timing graph."""
+
+    CONST = "const"
+    INPUT = "input"  # primary input (launch point)
+    REGISTER = "register"  # register output (launch point)
+    GATE = "gate"  # combinational cell
+
+
+@dataclass
+class TimingVertex:
+    """One vertex of the timing graph."""
+
+    id: int
+    kind: VertexKind
+    fanins: List[int] = field(default_factory=list)
+    cell: Optional[Cell] = None
+    name: Optional[str] = None
+    extra_load: float = 0.0  # wire load added by placement (fF)
+    derate: float = 1.0  # delay multiplier capturing local optimization effort
+
+    @property
+    def is_launch_point(self) -> bool:
+        return self.kind in (VertexKind.INPUT, VertexKind.REGISTER)
+
+
+@dataclass
+class TimingEndpoint:
+    """A timing endpoint: register data pin or primary output pin."""
+
+    name: str  # bit-level name, e.g. "R1[3]"
+    signal: str  # word-level signal, e.g. "R1"
+    bit: int
+    driver: int  # vertex id driving the endpoint
+    kind: str = "register"  # "register" or "output"
+    capture_cell: Optional[Cell] = None  # DFF capturing the data (for setup/cap)
+
+    @property
+    def setup_time(self) -> float:
+        return self.capture_cell.setup_time if self.capture_cell else 0.0
+
+    @property
+    def pin_capacitance(self) -> float:
+        return self.capture_cell.input_cap if self.capture_cell else 1.0
+
+
+class TimingNetwork:
+    """A flat, topologically ordered timing graph."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.vertices: List[TimingVertex] = []
+        self.endpoints: List[TimingEndpoint] = []
+        self._fanouts: Optional[List[List[int]]] = None
+        self._topo: Optional[List[int]] = None
+
+    # -- construction --------------------------------------------------------
+
+    def add_vertex(
+        self,
+        kind: VertexKind,
+        fanins: Optional[List[int]] = None,
+        cell: Optional[Cell] = None,
+        name: Optional[str] = None,
+    ) -> int:
+        vertex = TimingVertex(
+            id=len(self.vertices),
+            kind=kind,
+            fanins=list(fanins or []),
+            cell=cell,
+            name=name,
+        )
+        self.vertices.append(vertex)
+        self._fanouts = None
+        self._topo = None
+        return vertex.id
+
+    def add_endpoint(self, endpoint: TimingEndpoint) -> None:
+        self.endpoints.append(endpoint)
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def fanouts(self) -> List[List[int]]:
+        """Fanout adjacency, cached until the next structural change."""
+        if self._fanouts is None:
+            fanouts: List[List[int]] = [[] for _ in self.vertices]
+            for vertex in self.vertices:
+                for fanin in vertex.fanins:
+                    fanouts[fanin].append(vertex.id)
+            self._fanouts = fanouts
+        return self._fanouts
+
+    def invalidate(self) -> None:
+        """Drop cached adjacency after in-place edits (sizing, retiming)."""
+        self._fanouts = None
+        self._topo = None
+
+    def topological_order(self) -> List[int]:
+        """Vertex ids in topological order (Kahn's algorithm), cached.
+
+        Structural edits such as retiming may append vertices whose ids are
+        larger than their consumers', so the id order is not necessarily
+        topological; this method computes a valid order explicitly.
+        """
+        if self._topo is not None:
+            return self._topo
+        n = len(self.vertices)
+        indegree = [len(v.fanins) for v in self.vertices]
+        fanouts = self.fanouts()
+        ready = [v.id for v in self.vertices if indegree[v.id] == 0]
+        order: List[int] = []
+        while ready:
+            current = ready.pop()
+            order.append(current)
+            for consumer in fanouts[current]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != n:
+            raise ValueError(f"timing network {self.name!r} contains a combinational cycle")
+        self._topo = order
+        return order
+
+    def launch_points(self) -> List[TimingVertex]:
+        return [v for v in self.vertices if v.is_launch_point]
+
+    def gate_count(self) -> int:
+        return sum(1 for v in self.vertices if v.kind is VertexKind.GATE)
+
+    def register_count(self) -> int:
+        return sum(1 for v in self.vertices if v.kind is VertexKind.REGISTER)
+
+    def validate(self) -> None:
+        """Check acyclicity and endpoint consistency."""
+        self.topological_order()  # raises on cycles
+        for vertex in self.vertices:
+            for fanin in vertex.fanins:
+                if fanin < 0 or fanin >= len(self.vertices):
+                    raise ValueError(f"vertex {vertex.id} has out-of-range fanin {fanin}")
+            if vertex.kind is VertexKind.GATE and vertex.cell is None:
+                raise ValueError(f"gate vertex {vertex.id} has no cell")
+        for endpoint in self.endpoints:
+            if endpoint.driver < 0 or endpoint.driver >= len(self.vertices):
+                raise ValueError(f"endpoint {endpoint.name} has an invalid driver")
+
+    def __repr__(self) -> str:
+        return (
+            f"TimingNetwork({self.name!r}, vertices={len(self.vertices)}, "
+            f"endpoints={len(self.endpoints)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# BOG adapter (pseudo netlist)
+# ---------------------------------------------------------------------------
+
+
+def from_bog(bog: BOG, library: Optional[Library] = None) -> TimingNetwork:
+    """Lower a BOG into a timing network using pseudo standard cells."""
+    library = library or pseudo_library()
+    network = TimingNetwork(f"{bog.name}.{bog.variant}")
+    reg_cell = library.pick("REG")
+    mapping: Dict[int, int] = {}
+
+    for node in bog.nodes:
+        if node.type in (NodeType.CONST0, NodeType.CONST1):
+            mapping[node.id] = network.add_vertex(VertexKind.CONST, name=node.type.value)
+        elif node.type is NodeType.INPUT:
+            mapping[node.id] = network.add_vertex(VertexKind.INPUT, name=node.name)
+        elif node.type is NodeType.REG:
+            mapping[node.id] = network.add_vertex(
+                VertexKind.REGISTER, cell=reg_cell, name=node.name
+            )
+        else:
+            function = PSEUDO_FUNCTION_OF_NODE[node.type.value]
+            cell = library.pick(function)
+            mapping[node.id] = network.add_vertex(
+                VertexKind.GATE,
+                fanins=[mapping[f] for f in node.fanins],
+                cell=cell,
+                name=None,
+            )
+
+    for endpoint in bog.endpoints:
+        network.add_endpoint(
+            TimingEndpoint(
+                name=endpoint.name,
+                signal=endpoint.signal,
+                bit=endpoint.bit,
+                driver=mapping[endpoint.driver],
+                kind=endpoint.kind,
+                capture_cell=reg_cell if endpoint.kind == "register" else None,
+            )
+        )
+
+    network.validate()
+    return network

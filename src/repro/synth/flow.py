@@ -1,0 +1,89 @@
+"""End-to-end logic synthesis flow (Design Compiler stand-in).
+
+``synthesize`` runs the full flow the paper's dataset generation and
+optimization experiments rely on::
+
+    word-level Design --bit-blast--> SOG --map--> netlist --optimize--> STA/QoR
+
+The same entry point serves three roles:
+
+* ground-truth label generation (default options),
+* the "default synthesis" baseline of Table 6,
+* the prediction-driven flow of Table 6 (options carrying ``group_path`` and
+  ``retime`` directives derived from RTL-Timer's predicted rankings).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bog.builder import build_sog
+from repro.bog.graph import BOG
+from repro.hdl.design import Design
+from repro.sta.constraints import ClockConstraint
+from repro.sta.engine import STAReport
+from repro.liberty import Library, nangate45_like
+from repro.synth.mapper import map_to_netlist
+from repro.synth.netlist import Netlist, QoR
+from repro.synth.optimizer import OptimizationTrace, SynthesisOptions, optimize
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the rest of the flow needs from one synthesis run."""
+
+    design: str
+    netlist: Netlist
+    report: STAReport
+    qor: QoR
+    options: SynthesisOptions
+    trace: OptimizationTrace
+    runtime_seconds: float
+
+    @property
+    def wns(self) -> float:
+        return self.report.wns
+
+    @property
+    def tns(self) -> float:
+        return self.report.tns
+
+
+def synthesize_bog(
+    bog: BOG,
+    clock: ClockConstraint,
+    options: Optional[SynthesisOptions] = None,
+    library: Optional[Library] = None,
+    seed: Optional[int] = None,
+) -> SynthesisResult:
+    """Map and optimize an already-built Boolean operator graph."""
+    started = time.perf_counter()
+    options = options or SynthesisOptions()
+    library = library or nangate45_like()
+    netlist = map_to_netlist(bog, library=library, seed=seed)
+    report, trace = optimize(netlist, clock, options)
+    qor = netlist.qor(report)
+    runtime = time.perf_counter() - started
+    return SynthesisResult(
+        design=bog.name,
+        netlist=netlist,
+        report=report,
+        qor=qor,
+        options=options,
+        trace=trace,
+        runtime_seconds=runtime,
+    )
+
+
+def synthesize(
+    design: Design,
+    clock: ClockConstraint,
+    options: Optional[SynthesisOptions] = None,
+    library: Optional[Library] = None,
+    seed: Optional[int] = None,
+) -> SynthesisResult:
+    """Run the complete synthesis flow on a word-level design."""
+    sog = build_sog(design)
+    return synthesize_bog(sog, clock, options=options, library=library, seed=seed)

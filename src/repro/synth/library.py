@@ -1,0 +1,22 @@
+"""Compatibility shim: the cell library lives in :mod:`repro.liberty`.
+
+It was moved out of the synthesis package so that the STA package (which
+needs cell timing models) does not have to import :mod:`repro.synth`,
+avoiding a circular dependency between the two substrates.
+"""
+
+from repro.liberty import (
+    Cell,
+    Library,
+    PSEUDO_FUNCTION_OF_NODE,
+    nangate45_like,
+    pseudo_library,
+)
+
+__all__ = [
+    "Cell",
+    "Library",
+    "PSEUDO_FUNCTION_OF_NODE",
+    "nangate45_like",
+    "pseudo_library",
+]

@@ -1,0 +1,84 @@
+"""Shared fixtures: small designs and dataset records reused across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dataset import DatasetConfig, DesignRecord, build_design_record
+from repro.hdl.design import analyze
+from repro.hdl.generate import DesignSpec, generate_design
+from repro.hdl.parser import parse_source
+
+
+SIMPLE_VERILOG = """
+module simple (clk, a, b, sel, q, y);
+  input clk;
+  input [3:0] a;
+  input [3:0] b;
+  input sel;
+  output [3:0] y;
+  output q;
+  reg [3:0] acc;
+  reg flag;
+  wire [3:0] sum;
+  wire [3:0] muxed;
+
+  assign sum = a + b;
+  assign muxed = sel ? sum : (a & b);
+  assign y = acc;
+  assign q = flag;
+
+  always @(posedge clk) begin
+    acc <= muxed ^ acc;
+    if (sel) flag <= ^a;
+    else flag <= |b;
+  end
+endmodule
+"""
+
+
+#: Small specs used for fast end-to-end fixtures.
+TINY_SPECS = (
+    DesignSpec("tiny_alpha", "vexriscv", "Verilog", 11, 6, 2, 3, 3, 2),
+    DesignSpec("tiny_beta", "itc99", "Verilog", 12, 6, 2, 3, 4, 2),
+    DesignSpec("tiny_gamma", "opencores", "Verilog", 13, 8, 2, 3, 3, 2),
+    DesignSpec("tiny_delta", "chipyard", "Verilog", 14, 8, 3, 3, 4, 2),
+    DesignSpec("tiny_eps", "vexriscv", "Verilog", 15, 8, 3, 4, 4, 2),
+)
+
+
+@pytest.fixture(scope="session")
+def simple_source() -> str:
+    return SIMPLE_VERILOG
+
+
+@pytest.fixture(scope="session")
+def simple_module():
+    return parse_source(SIMPLE_VERILOG)
+
+
+@pytest.fixture(scope="session")
+def simple_design(simple_module):
+    return analyze(simple_module, source=SIMPLE_VERILOG)
+
+
+@pytest.fixture(scope="session")
+def tiny_specs():
+    return TINY_SPECS
+
+
+@pytest.fixture(scope="session")
+def tiny_records(tiny_specs) -> list:
+    """Dataset records for the tiny benchmark designs (built once per session)."""
+    config = DatasetConfig()
+    return [build_design_record(spec, config) for spec in tiny_specs]
+
+
+@pytest.fixture(scope="session")
+def tiny_record(tiny_records) -> DesignRecord:
+    return tiny_records[0]
+
+
+@pytest.fixture(scope="session")
+def simple_record(simple_source) -> DesignRecord:
+    return build_design_record(simple_source, name="simple")

@@ -1,0 +1,109 @@
+"""Tests for HDL slack annotation and prediction-driven optimization."""
+
+import pytest
+
+from repro.core.annotate import annotate_design, ranking_groups
+from repro.core.optimize import (
+    options_from_ranking,
+    ranking_from_labels,
+    run_optimization_experiment,
+    summarize_outcomes,
+)
+from repro.hdl.parser import parse_source
+
+
+class TestRankingGroups:
+    def test_four_groups_assigned(self):
+        scores = {f"s{i}": float(100 - i) for i in range(40)}
+        groups = ranking_groups(scores)
+        assert set(groups.values()) <= {1, 2, 3, 4}
+        assert groups["s0"] == 1  # highest score = most critical
+        assert groups["s39"] == 4
+
+    def test_all_signals_assigned(self):
+        scores = {f"s{i}": float(i) for i in range(10)}
+        groups = ranking_groups(scores)
+        assert set(groups) == set(scores)
+
+
+class TestAnnotation:
+    def test_annotation_contains_header_and_signal_comments(self, tiny_record):
+        signal_labels = tiny_record.signal_slack_labels()
+        ranking = {s: -v for s, v in signal_labels.items()}  # worse slack = more critical
+        annotated = annotate_design(
+            tiny_record,
+            signal_labels,
+            ranking,
+            {"wns": tiny_record.wns_label, "tns": tiny_record.tns_label},
+        )
+        assert annotated.startswith("// Tech:")
+        assert "Predicted WNS" in annotated
+        some_signal = next(iter(signal_labels))
+        assert f"({some_signal}) Slack@" in annotated
+        assert "rank@g" in annotated
+
+    def test_annotated_source_still_parses(self, tiny_record):
+        signal_labels = tiny_record.signal_slack_labels()
+        ranking = {s: -v for s, v in signal_labels.items()}
+        annotated = annotate_design(tiny_record, signal_labels, ranking, {"wns": 0, "tns": 0})
+        module = parse_source(annotated)
+        assert module.name == tiny_record.design.name
+
+    def test_annotation_preserves_line_count(self, tiny_record):
+        signal_labels = tiny_record.signal_slack_labels()
+        ranking = {s: -v for s, v in signal_labels.items()}
+        annotated = annotate_design(tiny_record, signal_labels, ranking, {"wns": 0, "tns": 0})
+        original_lines = tiny_record.source.splitlines()
+        annotated_lines = annotated.splitlines()
+        assert len(annotated_lines) == len(original_lines) + 3  # three header lines
+
+
+class TestOptimizationOptions:
+    def test_options_from_ranking_builds_four_groups(self):
+        signals = [f"sig{i}" for i in range(40)]
+        options = options_from_ranking(signals)
+        assert options.uses_grouping and options.uses_retiming
+        assert len(options.path_groups) == 4
+        grouped = [s for group in options.path_groups for s in group.signals]
+        assert sorted(grouped) == sorted(signals)
+        assert options.retime_signals == signals[:2]
+
+    def test_empty_ranking_gives_default_options(self):
+        options = options_from_ranking([])
+        assert not options.uses_grouping and not options.uses_retiming
+
+    def test_ranking_from_labels_orders_by_arrival(self, tiny_record):
+        ranked = ranking_from_labels(tiny_record)
+        labels = tiny_record.signal_labels()
+        values = [labels[s] for s in ranked]
+        assert values == sorted(values, reverse=True)
+
+
+class TestOptimizationExperiment:
+    def test_experiment_produces_comparable_runs(self, tiny_record):
+        ranked = ranking_from_labels(tiny_record)
+        outcome = run_optimization_experiment(tiny_record, ranked, ranking_source="real")
+        assert outcome.design == tiny_record.name
+        assert outcome.default.qor.area > 0
+        assert outcome.optimized.qor.area > 0
+        row = outcome.as_row()
+        assert {"wns_pct", "tns_pct", "power_pct", "area_pct"} <= set(row)
+
+    def test_summary_avg1_avg2(self, tiny_record):
+        ranked = ranking_from_labels(tiny_record)
+        outcome = run_optimization_experiment(tiny_record, ranked)
+        summary = summarize_outcomes([outcome])
+        assert "avg1_tns_pct" in summary and "avg2_tns_pct" in summary
+        if outcome.improved:
+            assert summary["avg1_tns_pct"] == pytest.approx(summary["avg2_tns_pct"])
+        else:
+            assert summary["avg2_tns_pct"] == 0.0
+
+    def test_percentage_sign_convention(self, tiny_record):
+        ranked = ranking_from_labels(tiny_record)
+        outcome = run_optimization_experiment(tiny_record, ranked)
+        # A negative WNS/TNS percentage means the violation magnitude shrank.
+        if abs(outcome.optimized.tns) < abs(outcome.default.tns):
+            assert outcome.tns_change_pct < 0
+        else:
+            assert outcome.tns_change_pct >= 0

@@ -1,0 +1,112 @@
+"""Tests for the evaluation metrics (R, R2, MAPE, COVR)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    criticality_groups,
+    mape,
+    pearson_r,
+    r_squared,
+    ranking_coverage,
+    regression_metrics,
+)
+
+
+def test_perfect_prediction_metrics():
+    y = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert pearson_r(y, y) == pytest.approx(1.0)
+    assert r_squared(y, y) == pytest.approx(1.0)
+    assert mape(y, y) == pytest.approx(0.0)
+    assert ranking_coverage(y, y) == pytest.approx(100.0)
+
+
+def test_anticorrelated_prediction():
+    y = np.array([1.0, 2.0, 3.0, 4.0])
+    assert pearson_r(y, -y) == pytest.approx(-1.0)
+
+
+def test_constant_prediction_has_zero_correlation():
+    y = np.array([1.0, 2.0, 3.0])
+    assert pearson_r(y, np.ones(3)) == 0.0
+
+
+def test_r_squared_of_mean_prediction_is_zero():
+    y = np.array([2.0, 4.0, 6.0])
+    assert r_squared(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+
+def test_mape_example():
+    assert mape([100.0, 200.0], [110.0, 180.0]) == pytest.approx(10.0)
+
+
+def test_mape_ignores_zero_labels():
+    assert mape([0.0, 100.0], [5.0, 110.0]) == pytest.approx(10.0)
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        pearson_r([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        ranking_coverage([1.0], [1.0, 2.0])
+
+
+def test_criticality_groups_partition_all_items():
+    values = np.arange(40.0)
+    groups = criticality_groups(values)
+    indices = np.concatenate(groups)
+    assert sorted(indices.tolist()) == list(range(40))
+    # Group 1 holds the largest (most critical) values.
+    assert set(groups[0].tolist()) <= set(np.argsort(-values)[: len(groups[0])].tolist())
+
+
+def test_criticality_group_sizes_follow_fractions():
+    values = np.arange(100.0)
+    groups = criticality_groups(values)
+    assert len(groups[0]) == 5
+    assert len(groups[1]) == 35
+    assert len(groups[2]) == 30
+    assert len(groups[3]) == 30
+
+
+def test_ranking_coverage_degrades_with_shuffling():
+    rng = np.random.default_rng(0)
+    y = np.arange(200.0)
+    noisy = y + rng.normal(scale=5.0, size=200)
+    shuffled = rng.permutation(y)
+    assert ranking_coverage(y, noisy) > ranking_coverage(y, shuffled)
+
+
+def test_regression_metrics_bundle_keys():
+    metrics = regression_metrics([1.0, 2.0, 3.0], [1.1, 2.1, 2.9])
+    assert set(metrics) == {"r", "r2", "mape", "covr"}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=3, max_size=50),
+    st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=3, max_size=50),
+)
+def test_pearson_r_bounded(a, b):
+    n = min(len(a), len(b))
+    value = pearson_r(a[:n], b[:n])
+    assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=4, max_size=60))
+def test_covr_is_percentage(values):
+    rng = np.random.default_rng(1)
+    predictions = rng.permutation(np.array(values))
+    coverage = ranking_coverage(values, predictions)
+    assert 0.0 <= coverage <= 100.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=3, max_size=30))
+def test_r2_never_exceeds_one(values):
+    labels = np.array(values)
+    predictions = labels * 0.9 + 1.0
+    assert r_squared(labels, predictions) <= 1.0 + 1e-9

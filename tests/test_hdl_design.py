@@ -1,0 +1,97 @@
+"""Tests for word-level design analysis (signal roles, register updates)."""
+
+import pytest
+
+from repro.hdl.ast_nodes import Identifier, Ternary
+from repro.hdl.design import AnalysisError, SignalKind, analyze, expression_width
+from repro.hdl.parser import parse_source
+
+
+def test_signal_kinds(simple_design):
+    assert simple_design.signal("a").kind is SignalKind.INPUT
+    assert simple_design.signal("acc").kind is SignalKind.REGISTER
+    assert simple_design.signal("sum").kind is SignalKind.WIRE
+    assert simple_design.signal("y").kind is SignalKind.OUTPUT
+
+
+def test_register_updates_flattened(simple_design):
+    targets = {update.target for update in simple_design.registers}
+    assert targets == {"acc", "flag"}
+
+
+def test_if_else_becomes_ternary(simple_design):
+    flag_update = next(u for u in simple_design.registers if u.target == "flag")
+    assert isinstance(flag_update.expression, Ternary)
+
+
+def test_unassigned_branch_holds_value():
+    source = """
+    module hold (clk, en, d, q);
+      input clk; input en; input [1:0] d; output [1:0] q;
+      reg [1:0] q;
+      always @(posedge clk) begin
+        if (en) q <= d;
+      end
+    endmodule
+    """
+    design = analyze(parse_source(source))
+    update = design.registers[0]
+    assert isinstance(update.expression, Ternary)
+    assert update.expression.if_false == Identifier("q")
+
+
+def test_clock_recorded(simple_design):
+    assert simple_design.clock == "clk"
+
+
+def test_undeclared_signal_rejected():
+    source = """
+    module bad (clk, q); input clk; output q; reg q;
+      always @(posedge clk) q <= missing;
+    endmodule
+    """
+    with pytest.raises(AnalysisError):
+        analyze(parse_source(source))
+
+
+def test_nonblocking_to_wire_rejected():
+    source = """
+    module bad2 (clk, a, w); input clk; input a; output w; wire w;
+      always @(posedge clk) w <= a;
+    endmodule
+    """
+    with pytest.raises(AnalysisError):
+        analyze(parse_source(source))
+
+
+def test_expression_width_rules(simple_design):
+    from repro.hdl.parser import Parser
+
+    def width(text):
+        return expression_width(Parser(text).parse_expression(), simple_design)
+
+    assert width("a") == 4
+    assert width("a + b") == 4
+    assert width("a == b") == 1
+    assert width("{a, b}") == 8
+    assert width("{2{a}}") == 8
+    assert width("a[2]") == 1
+    assert width("^a") == 1
+
+
+def test_summary_counts(simple_design):
+    summary = simple_design.summary()
+    assert summary["registers"] == 2
+    assert summary["register_bits"] == 5
+    assert summary["inputs"] == 4  # clk is not a data signal
+
+
+def test_multiple_clocks_rejected():
+    source = """
+    module two (c1, c2, d, q); input c1; input c2; input d; output q; reg q; reg p;
+      always @(posedge c1) q <= d;
+      always @(posedge c2) p <= d;
+    endmodule
+    """
+    with pytest.raises(AnalysisError):
+        analyze(parse_source(source))

@@ -1,0 +1,77 @@
+"""Unit tests for the Verilog lexer."""
+
+import pytest
+
+from repro.hdl.lexer import Lexer, LexerError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+def test_keywords_are_classified():
+    tokens = tokenize("module endmodule input output wire reg assign always")
+    assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+
+def test_identifiers_and_numbers():
+    tokens = tokenize("foo bar_1 42 8'hFF 4'b1010 12'd7")
+    assert tokens[0].kind is TokenKind.IDENT
+    assert tokens[1].kind is TokenKind.IDENT
+    assert tokens[2].kind is TokenKind.NUMBER and tokens[2].value == 42
+    assert tokens[3].kind is TokenKind.SIZED_NUMBER
+    assert tokens[3].value == 0xFF and tokens[3].width == 8
+    assert tokens[4].value == 0b1010 and tokens[4].width == 4
+    assert tokens[5].value == 7 and tokens[5].width == 12
+
+
+def test_sized_number_with_x_and_z_digits_treated_as_zero():
+    token = tokenize("4'b1x0z")[0]
+    assert token.kind is TokenKind.SIZED_NUMBER
+    assert token.value == 0b1000
+
+
+def test_operators_longest_match_first():
+    tokens = tokenize("a <= b << 2")
+    ops = [t.text for t in tokens if t.kind is TokenKind.OPERATOR]
+    assert ops == ["<=", "<<"]
+
+
+def test_line_comments_are_stripped():
+    tokens = tokenize("a // comment with module keyword\nb")
+    texts = [t.text for t in tokens if t.kind is TokenKind.IDENT]
+    assert texts == ["a", "b"]
+
+
+def test_block_comments_preserve_line_numbers():
+    tokens = tokenize("a /* multi\nline\ncomment */ b")
+    a, b = [t for t in tokens if t.kind is TokenKind.IDENT]
+    assert a.line == 1
+    assert b.line == 3
+
+
+def test_unexpected_character_raises_with_position():
+    with pytest.raises(LexerError) as excinfo:
+        tokenize("a ` b")
+    assert excinfo.value.line == 1
+
+
+def test_punctuation_tokens():
+    tokens = tokenize("( ) [ ] { } , ; : @")
+    assert all(t.kind is TokenKind.PUNCT for t in tokens[:-1])
+
+
+def test_escaped_identifier():
+    tokens = tokenize(r"\weird$name rest")
+    assert tokens[0].kind is TokenKind.IDENT
+    assert tokens[0].text == "weird$name"
+
+
+def test_eof_token_always_present():
+    assert tokenize("")[-1].kind is TokenKind.EOF
+    assert tokenize("module")[-1].kind is TokenKind.EOF
+
+
+def test_underscores_in_numbers():
+    token = tokenize("16'hAB_CD")[0]
+    assert token.value == 0xABCD

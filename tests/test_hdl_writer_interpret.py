@@ -1,0 +1,96 @@
+"""Tests for Verilog re-emission, annotation helpers and the interpreter."""
+
+import pytest
+
+from repro.hdl.design import analyze
+from repro.hdl.interpret import Interpreter
+from repro.hdl.parser import parse_source
+from repro.hdl.writer import annotate_lines, expression_to_verilog, write_verilog
+
+
+class TestWriter:
+    def test_expression_rendering_roundtrip(self):
+        from repro.hdl.parser import Parser
+
+        for text in ["a + b * c", "s ? a : b", "{a, b[3:1]}", "{4{a}}", "~(a ^ 8'hFF)"]:
+            expr = Parser(text).parse_expression()
+            rendered = expression_to_verilog(expr)
+            again = Parser(rendered).parse_expression()
+            assert expression_to_verilog(again) == rendered
+
+    def test_write_verilog_reparses(self, simple_module):
+        text = write_verilog(simple_module)
+        module = parse_source(text)
+        assert module.name == simple_module.name
+        assert len(module.always_blocks) == len(simple_module.always_blocks)
+
+    def test_annotate_lines_appends_comments(self, simple_source):
+        annotated = annotate_lines(
+            simple_source,
+            {"acc": "Slack@-12.0ps rank@g1", "flag": "Slack@3.0ps rank@g4"},
+            header_comments=["header line"],
+        )
+        assert annotated.splitlines()[0] == "// header line"
+        acc_lines = [l for l in annotated.splitlines() if l.strip().startswith("reg [3:0] acc")]
+        assert acc_lines and "Slack@-12.0ps" in acc_lines[0]
+
+    def test_annotate_lines_is_still_valid_verilog(self, simple_source):
+        annotated = annotate_lines(simple_source, {"acc": "x"}, ["h"])
+        assert parse_source(annotated).name == "simple"
+
+    def test_annotate_only_matching_declarations(self, simple_source):
+        annotated = annotate_lines(simple_source, {"sum": "wire comment"})
+        lines = [l for l in annotated.splitlines() if "wire comment" in l]
+        assert len(lines) == 1
+        assert "sum" in lines[0]
+
+
+class TestInterpreter:
+    @pytest.fixture(scope="class")
+    def interpreter(self, simple_design):
+        return Interpreter(simple_design)
+
+    def test_add_and_mux_path(self, interpreter):
+        result = interpreter.evaluate_step({"a": 3, "b": 5, "sel": 1, "acc": 0, "flag": 0})
+        assert result["sum"] == 8
+        assert result["acc"] == 8  # (sum ^ acc) with acc=0
+
+    def test_and_path_when_sel_low(self, interpreter):
+        result = interpreter.evaluate_step({"a": 0b1100, "b": 0b1010, "sel": 0, "acc": 0})
+        assert result["acc"] == 0b1000
+
+    def test_flag_if_else(self, interpreter):
+        # sel=1 -> flag <= ^a ; sel=0 -> flag <= |b
+        assert interpreter.evaluate_step({"a": 0b0111, "sel": 1})["flag"] == 1
+        assert interpreter.evaluate_step({"a": 0b0011, "sel": 1})["flag"] == 0
+        assert interpreter.evaluate_step({"b": 0, "sel": 0})["flag"] == 0
+        assert interpreter.evaluate_step({"b": 4, "sel": 0})["flag"] == 1
+
+    def test_register_holds_without_update(self):
+        source = """
+        module hold (clk, en, d, q); input clk; input en; input [3:0] d; output [3:0] q;
+          reg [3:0] q;
+          always @(posedge clk) begin if (en) q <= d; end
+        endmodule
+        """
+        design = analyze(parse_source(source))
+        interp = Interpreter(design)
+        assert interp.evaluate_step({"en": 0, "d": 9, "q": 5})["q"] == 5
+        assert interp.evaluate_step({"en": 1, "d": 9, "q": 5})["q"] == 9
+
+    def test_values_masked_to_width(self, interpreter):
+        result = interpreter.evaluate_step({"a": 0xFFF, "b": 0xFFF, "sel": 1, "acc": 0})
+        assert 0 <= result["acc"] <= 0xF
+
+    def test_wire_chain_settles(self):
+        source = """
+        module chain (clk, a, q); input clk; input [3:0] a; output [3:0] q;
+          reg [3:0] q; wire [3:0] w1; wire [3:0] w2;
+          assign w2 = w1 + 4'd1;
+          assign w1 = a ^ 4'd5;
+          always @(posedge clk) q <= w2;
+        endmodule
+        """
+        design = analyze(parse_source(source))
+        interp = Interpreter(design)
+        assert interp.evaluate_step({"a": 2})["q"] == ((2 ^ 5) + 1) & 0xF

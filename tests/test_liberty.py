@@ -1,0 +1,85 @@
+"""Tests for the liberty-like cell library."""
+
+import pytest
+
+from repro.liberty import Cell, Library, nangate45_like, pseudo_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return nangate45_like()
+
+
+def test_library_contains_core_functions(lib):
+    for function in ["INV", "NAND2", "NOR2", "AND2", "OR2", "XOR2", "MUX2", "DFF"]:
+        assert function in lib
+        assert lib.variants(function)
+
+
+def test_drive_strengths_ordered(lib):
+    variants = lib.variants("NAND2")
+    drives = [cell.drive for cell in variants]
+    assert drives == sorted(drives)
+
+
+def test_upsize_and_downsize(lib):
+    weakest = lib.variants("INV")[0]
+    stronger = lib.upsize(weakest)
+    assert stronger is not None and stronger.drive > weakest.drive
+    assert lib.downsize(weakest) is None
+    strongest = lib.variants("INV")[-1]
+    assert lib.upsize(strongest) is None
+
+
+def test_stronger_cells_drive_loads_faster(lib):
+    weak = lib.pick("NAND2", drive=1)
+    strong = lib.pick("NAND2", drive=4)
+    load = 30.0
+    assert strong.delay(20.0, load) < weak.delay(20.0, load)
+    assert strong.area > weak.area
+    assert strong.leakage > weak.leakage
+
+
+def test_delay_monotone_in_load_and_slew(lib):
+    cell = lib.pick("XOR2")
+    assert cell.delay(20.0, 10.0) < cell.delay(20.0, 20.0)
+    assert cell.delay(10.0, 10.0) < cell.delay(40.0, 10.0)
+    assert cell.output_slew(5.0) < cell.output_slew(50.0)
+
+
+def test_sequential_cell_attributes(lib):
+    dff = lib.pick("DFF")
+    assert dff.is_sequential
+    assert dff.clk_to_q > 0
+    assert dff.setup_time > 0
+
+
+def test_unknown_function_raises(lib):
+    with pytest.raises(KeyError):
+        lib.variants("NAND17")
+
+
+def test_pick_closest_drive(lib):
+    assert lib.pick("INV", drive=3).drive in (2, 4)
+
+
+def test_pseudo_library_covers_bog_operators():
+    pseudo = pseudo_library()
+    for function in ["AND", "OR", "XOR", "NOT", "MUX", "REG"]:
+        assert function in pseudo
+    assert pseudo.pick("REG").is_sequential
+
+
+def test_decomposition_delay_gap(lib):
+    """AND2 is noticeably slower than NAND2+INV (the mapping noise source)."""
+    and2 = lib.pick("AND2")
+    nand = lib.pick("NAND2")
+    inv = lib.pick("INV")
+    load, slew = 5.0, 20.0
+    direct = and2.delay(slew, load)
+    decomposed = nand.delay(slew, inv.input_cap) + inv.delay(nand.output_slew(inv.input_cap), load)
+    assert abs(direct - decomposed) > 1.0
+
+
+def test_dynamic_energy_positive(lib):
+    assert lib.pick("BUF").dynamic_energy(10.0) > 0.0

@@ -1,0 +1,207 @@
+"""Tests for MLP, transformer, LambdaMART, GNN and the loss functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    GNNRegressor,
+    GraphData,
+    LambdaMARTRanker,
+    MLPRegressor,
+    TransformerPathRegressor,
+    dcg_at_k,
+    group_argmax,
+    group_max,
+    grouped_max_loss_and_gradient,
+    grouped_softmax_loss_and_gradient,
+    ndcg,
+    pad_sequences,
+)
+
+
+class TestLosses:
+    def test_group_max_basic(self):
+        values = np.array([1.0, 5.0, 2.0, 7.0, 3.0])
+        groups = np.array([0, 0, 1, 1, 1])
+        assert np.allclose(group_max(values, groups), [5.0, 7.0])
+        assert list(group_argmax(values, groups)) == [1, 3]
+
+    def test_grouped_max_gradient_routes_to_winner(self):
+        predictions = np.array([1.0, 3.0, 2.0, 0.5])
+        groups = np.array([0, 0, 1, 1])
+        targets = np.array([2.0, 5.0])
+        loss, gradient = grouped_max_loss_and_gradient(predictions, groups, targets)
+        assert loss > 0
+        assert gradient[0] == 0.0 and gradient[3] == 0.0
+        assert gradient[1] != 0.0 and gradient[2] != 0.0
+
+    def test_zero_loss_when_max_matches_target(self):
+        predictions = np.array([1.0, 4.0])
+        groups = np.array([0, 0])
+        loss, gradient = grouped_max_loss_and_gradient(predictions, groups, np.array([4.0]))
+        assert loss == pytest.approx(0.0)
+        assert np.allclose(gradient, 0.0)
+
+    def test_softmax_loss_approaches_hard_max_at_low_temperature(self):
+        predictions = np.array([1.0, 6.0, 2.0])
+        groups = np.array([0, 0, 0])
+        targets = np.array([6.0])
+        hard, _ = grouped_max_loss_and_gradient(predictions, groups, targets)
+        soft, _ = grouped_softmax_loss_and_gradient(predictions, groups, targets, temperature=0.05)
+        assert soft == pytest.approx(hard, abs=1e-3)
+
+    def test_softmax_gradient_spreads_over_paths(self):
+        predictions = np.array([3.0, 3.0])
+        groups = np.array([0, 0])
+        _, gradient = grouped_softmax_loss_and_gradient(predictions, groups, np.array([1.0]))
+        assert gradient[0] != 0.0 and gradient[1] != 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(st.floats(-50, 50), min_size=3, max_size=12),
+        n_groups=st.integers(min_value=1, max_value=3),
+    )
+    def test_group_max_is_upper_bound_of_members(self, values, n_groups):
+        values = np.array(values)
+        groups = np.arange(len(values)) % n_groups
+        maxima = group_max(values, groups, n_groups)
+        for value, group in zip(values, groups):
+            assert maxima[group] >= value
+
+
+class TestMLP:
+    def test_learns_linear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 5))
+        y = X @ np.array([1.0, -2.0, 0.5, 0.0, 3.0])
+        mlp = MLPRegressor(hidden_sizes=(32,), epochs=80, seed=0).fit(X[:300], y[:300])
+        assert np.corrcoef(mlp.predict(X[300:]), y[300:])[0, 1] > 0.95
+
+    def test_training_loss_decreases(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 3))
+        y = X[:, 0] ** 2
+        mlp = MLPRegressor(hidden_sizes=(16,), epochs=40, seed=1).fit(X, y)
+        assert mlp.train_losses_[-1] < mlp.train_losses_[0]
+
+    def test_grouped_max_training(self):
+        rng = np.random.default_rng(2)
+        groups = np.repeat(np.arange(100), 3)
+        X = rng.normal(size=(300, 4))
+        path_value = X @ np.array([1.5, 1.0, 0.0, 0.0])
+        targets = np.array([path_value[groups == g].max() for g in range(100)])
+        mlp = MLPRegressor(hidden_sizes=(24,), epochs=120, seed=2)
+        mlp.fit_grouped_max(X, groups, targets)
+        predicted = group_max(mlp.predict(X), groups, 100)
+        assert np.corrcoef(predicted, targets)[0, 1] > 0.7
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPRegressor().predict(np.zeros((3, 2)))
+
+
+class TestTransformer:
+    def test_pad_sequences_shapes_and_mask(self):
+        seqs = [np.ones((2, 3)), np.ones((5, 3))]
+        tokens, mask = pad_sequences(seqs)
+        assert tokens.shape == (2, 5, 3)
+        assert mask[0].sum() == 2 and mask[1].sum() == 5
+
+    def test_pad_sequences_truncates_to_max_length(self):
+        seqs = [np.arange(12).reshape(6, 2)]
+        tokens, mask = pad_sequences(seqs, max_length=4)
+        assert tokens.shape == (1, 4, 2)
+        # The most recent (last) tokens are kept.
+        assert tokens[0, -1, 1] == 11
+
+    def test_learns_sequence_sum(self):
+        rng = np.random.default_rng(3)
+        seqs = [rng.normal(size=(rng.integers(3, 8), 4)) for _ in range(150)]
+        gfeat = rng.normal(size=(150, 2))
+        y = np.array([s[:, 0].sum() for s in seqs]) + gfeat[:, 1]
+        model = TransformerPathRegressor(
+            d_model=10, d_ff=20, head_hidden=16, epochs=50, max_length=10, seed=0
+        )
+        model.fit(seqs[:120], gfeat[:120], y[:120])
+        pred = model.predict(seqs[120:], gfeat[120:])
+        assert np.corrcoef(pred, y[120:])[0, 1] > 0.7
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(4)
+        seqs = [rng.normal(size=(4, 3)) for _ in range(60)]
+        gfeat = rng.normal(size=(60, 2))
+        y = np.array([s.sum() for s in seqs])
+        model = TransformerPathRegressor(d_model=8, d_ff=16, epochs=25, seed=1)
+        model.fit(seqs, gfeat, y)
+        assert model.train_losses_[-1] < model.train_losses_[0]
+
+
+class TestLambdaMART:
+    def _ranking_data(self, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(240, 5))
+        score = X @ np.array([2.0, 1.0, 0.0, 0.0, -0.5])
+        relevance = np.digitize(score, np.quantile(score, [0.3, 0.6, 0.9]))
+        queries = np.repeat(np.arange(8), 30)
+        return X, relevance, queries
+
+    def test_ndcg_perfect_and_reverse(self):
+        relevance = np.array([3, 2, 1, 0])
+        assert ndcg(np.array([4.0, 3.0, 2.0, 1.0]), relevance) == pytest.approx(1.0)
+        assert ndcg(np.array([1.0, 2.0, 3.0, 4.0]), relevance) < 1.0
+
+    def test_dcg_zero_for_empty(self):
+        assert dcg_at_k(np.array([])) == 0.0
+
+    def test_ranker_improves_ndcg_over_training(self):
+        X, relevance, queries = self._ranking_data()
+        ranker = LambdaMARTRanker(n_estimators=30, max_depth=3).fit(X, relevance, queries)
+        assert ranker.train_ndcg_[-1] > ranker.train_ndcg_[0]
+
+    def test_ranker_orders_holdout_query_well(self):
+        X, relevance, queries = self._ranking_data()
+        train = queries < 6
+        ranker = LambdaMARTRanker(n_estimators=40, max_depth=3).fit(
+            X[train], relevance[train], queries[train]
+        )
+        holdout = queries == 7
+        assert ndcg(ranker.predict(X[holdout]), relevance[holdout]) > 0.8
+
+    def test_rank_returns_permutation(self):
+        X, relevance, queries = self._ranking_data()
+        ranker = LambdaMARTRanker(n_estimators=5).fit(X, relevance, queries)
+        ranks = ranker.rank(X[:50])
+        assert sorted(ranks.tolist()) == list(range(50))
+
+
+class TestGNN:
+    def _chain_graph(self, n=60, seed=0):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(n, 5))
+        edge_src = np.arange(n - 1)
+        edge_dst = np.arange(1, n)
+        endpoints = np.arange(n - 10, n)
+        targets = features[endpoints, 0] + features[endpoints - 1, 1]
+        return GraphData("chain", features, edge_src, edge_dst, endpoints, targets)
+
+    def test_learns_neighbour_dependent_target(self):
+        graph = self._chain_graph()
+        gnn = GNNRegressor(hidden_size=24, n_layers=2, epochs=150, seed=0).fit_graphs([graph])
+        pred = gnn.predict_graph(graph)
+        assert np.corrcoef(pred, graph.endpoint_targets)[0, 1] > 0.9
+
+    def test_multiple_graphs(self):
+        graphs = [self._chain_graph(seed=s) for s in range(3)]
+        gnn = GNNRegressor(hidden_size=16, n_layers=2, epochs=60, seed=1).fit_graphs(graphs)
+        for graph in graphs:
+            assert len(gnn.predict_graph(graph)) == len(graph.endpoint_targets)
+
+    def test_graphdata_validation(self):
+        with pytest.raises(ValueError):
+            GraphData("bad", np.zeros((3, 2)), np.array([0]), np.array([1, 2]), np.array([0]), np.array([1.0]))
+
+    def test_generic_fit_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            GNNRegressor().fit(np.zeros((2, 2)), np.zeros(2))

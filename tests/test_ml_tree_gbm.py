@@ -1,0 +1,171 @@
+"""Tests for regression trees and gradient boosting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeRegressor,
+    GradientBoostingRegressor,
+    GroupedMaxSquaredError,
+    HuberObjective,
+    NewtonTreeRegressor,
+    group_max,
+)
+
+
+@pytest.fixture(scope="module")
+def regression_data():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(600, 6))
+    y = 2.0 * X[:, 0] - 1.5 * X[:, 1] + np.sin(X[:, 2]) + 0.1 * rng.normal(size=600)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_fits_constant_data(self):
+        X = np.zeros((20, 3))
+        y = np.full(20, 5.0)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert np.allclose(tree.predict(X), 5.0)
+
+    def test_perfect_split_on_single_feature(self):
+        X = np.array([[0.0], [0.1], [0.9], [1.0]] * 5)
+        y = np.array([0.0, 0.0, 1.0, 1.0] * 5)
+        tree = DecisionTreeRegressor(max_depth=2, min_samples_leaf=1, min_samples_split=2).fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_max_depth_zero_gives_single_leaf(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=0).fit(X, y)
+        assert tree.n_leaves() == 1
+        assert tree.depth() == 0
+
+    def test_depth_respected(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=1).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_min_samples_leaf(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=50).fit(X, y)
+        assert tree.n_leaves() <= len(y) // 50 + 1
+
+    def test_improves_over_mean_prediction(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=6).fit(X[:400], y[:400])
+        pred = tree.predict(X[400:])
+        mse_tree = np.mean((pred - y[400:]) ** 2)
+        mse_mean = np.mean((y[:400].mean() - y[400:]) ** 2)
+        assert mse_tree < mse_mean
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((2, 2)))
+
+
+class TestNewtonTree:
+    def test_newton_leaf_value_matches_mean_for_squared_loss(self):
+        X = np.zeros((10, 1))
+        y = np.arange(10, dtype=float)
+        tree = NewtonTreeRegressor(max_depth=0, reg_lambda=0.0).fit(X, y)
+        assert tree.predict(X[:1])[0] == pytest.approx(y.mean())
+
+    def test_regularization_shrinks_leaves(self):
+        X = np.zeros((10, 1))
+        y = np.full(10, 4.0)
+        tree = NewtonTreeRegressor(max_depth=0, reg_lambda=10.0).fit(X, y)
+        assert 0 < tree.predict(X[:1])[0] < 4.0
+
+
+class TestGradientBoosting:
+    def test_beats_single_tree(self, regression_data):
+        X, y = regression_data
+        tree = DecisionTreeRegressor(max_depth=3).fit(X[:400], y[:400])
+        gbm = GradientBoostingRegressor(n_estimators=50, max_depth=3).fit(X[:400], y[:400])
+        mse_tree = np.mean((tree.predict(X[400:]) - y[400:]) ** 2)
+        mse_gbm = np.mean((gbm.predict(X[400:]) - y[400:]) ** 2)
+        assert mse_gbm < mse_tree
+
+    def test_training_loss_decreases(self, regression_data):
+        X, y = regression_data
+        gbm = GradientBoostingRegressor(n_estimators=30).fit(X, y)
+        assert gbm.train_losses_[-1] < gbm.train_losses_[0]
+
+    def test_early_stopping_limits_trees(self, regression_data):
+        X, y = regression_data
+        gbm = GradientBoostingRegressor(
+            n_estimators=200, learning_rate=0.5, early_stopping_rounds=3
+        ).fit(X[:100], y[:100])
+        assert len(gbm.trees_) <= 200
+
+    def test_feature_importances_sum_to_one(self, regression_data):
+        X, y = regression_data
+        gbm = GradientBoostingRegressor(n_estimators=20).fit(X, y)
+        importances = gbm.feature_importances()
+        assert importances.shape == (X.shape[1],)
+        assert importances.sum() == pytest.approx(1.0)
+        assert importances[0] > importances[-1]  # x0 is the dominant feature
+
+    def test_huber_objective_robust_to_outliers(self, regression_data):
+        X, y = regression_data
+        y_out = y.copy()
+        y_out[::25] += 50.0
+        huber = GradientBoostingRegressor(n_estimators=40, objective=HuberObjective(1.0))
+        huber.fit(X[:400], y_out[:400])
+        pred = huber.predict(X[400:])
+        assert np.corrcoef(pred, y[400:])[0, 1] > 0.8
+
+    def test_subsample_and_colsample(self, regression_data):
+        X, y = regression_data
+        gbm = GradientBoostingRegressor(n_estimators=20, subsample=0.5, colsample=0.5).fit(X, y)
+        assert np.corrcoef(gbm.predict(X), y)[0, 1] > 0.7
+
+    def test_staged_predict_shape(self, regression_data):
+        X, y = regression_data
+        gbm = GradientBoostingRegressor(n_estimators=10).fit(X[:100], y[:100])
+        stages = gbm.staged_predict(X[:20])
+        assert stages.shape == (10, 20)
+
+
+class TestGroupedMaxObjective:
+    def test_recovers_max_structure(self):
+        rng = np.random.default_rng(2)
+        groups = np.repeat(np.arange(150), 3)
+        X = rng.normal(size=(450, 4))
+        path_value = X @ np.array([2.0, -1.0, 0.5, 0.0])
+        labels = np.array([path_value[groups == g].max() for g in range(150)])
+        objective = GroupedMaxSquaredError(groups, labels)
+        gbm = GradientBoostingRegressor(n_estimators=60, max_depth=3, objective=objective)
+        gbm.fit(X, objective.row_targets())
+        predicted = group_max(gbm.predict(X), groups, 150)
+        assert np.corrcoef(predicted, labels)[0, 1] > 0.95
+
+    def test_invalid_group_ids_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedMaxSquaredError(np.array([0, 1, 5]), np.array([1.0, 2.0]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(-100, 100), st.floats(-100, 100)), min_size=10, max_size=40
+    )
+)
+def test_tree_predictions_within_target_range(pairs):
+    """A regression tree never extrapolates beyond the observed target range."""
+    X = np.array([[a] for a, _ in pairs])
+    y = np.array([b for _, b in pairs])
+    tree = DecisionTreeRegressor(max_depth=4, min_samples_leaf=1, min_samples_split=2).fit(X, y)
+    predictions = tree.predict(X)
+    assert predictions.min() >= y.min() - 1e-6
+    assert predictions.max() <= y.max() + 1e-6

@@ -1,0 +1,78 @@
+"""Tests for the placement and post-placement optimization substrate."""
+
+import pytest
+
+from repro.bog.builder import build_sog
+from repro.physical import (
+    WIRE_CAP_PER_UM,
+    apply_wire_loads,
+    clear_wire_loads,
+    place,
+    place_and_optimize,
+)
+from repro.sta import ClockConstraint, analyze
+from repro.synth import map_to_netlist
+
+
+@pytest.fixture()
+def netlist(simple_design):
+    return map_to_netlist(build_sog(simple_design), seed=11)
+
+
+@pytest.fixture()
+def placement(netlist):
+    return place(netlist, seed=1)
+
+
+def test_all_vertices_placed_inside_die(netlist, placement):
+    assert len(placement.positions) == len(netlist.vertices)
+    for x, y in placement.positions.values():
+        assert 0.0 <= x <= placement.die_width
+        assert 0.0 <= y <= placement.die_height
+
+
+def test_placement_is_deterministic(netlist):
+    first = place(netlist, seed=3)
+    second = place(netlist, seed=3)
+    assert first.positions == second.positions
+
+
+def test_wirelength_positive_and_utilization_sane(netlist, placement):
+    assert placement.total_wirelength(netlist) > 0.0
+    assert 0.0 < placement.utilization(netlist) <= 1.0
+
+
+def test_refinement_reduces_wirelength(netlist):
+    rough = place(netlist, seed=2, sweeps=0)
+    refined = place(netlist, seed=2, sweeps=6)
+    assert refined.total_wirelength(netlist) < rough.total_wirelength(netlist)
+
+
+def test_wire_loads_degrade_timing(netlist):
+    clock = ClockConstraint(period=600.0)
+    before = analyze(netlist, clock)
+    placement = place(netlist, seed=1)
+    apply_wire_loads(netlist, placement)
+    after = analyze(netlist, clock)
+    assert after.summary()["max_arrival"] > before.summary()["max_arrival"]
+    clear_wire_loads(netlist)
+    restored = analyze(netlist, clock)
+    assert restored.summary()["max_arrival"] == pytest.approx(
+        before.summary()["max_arrival"]
+    )
+
+
+def test_wire_load_proportional_to_length(netlist, placement):
+    apply_wire_loads(netlist, placement)
+    for vertex in netlist.vertices:
+        expected = WIRE_CAP_PER_UM * placement.wirelength(netlist, vertex.id)
+        assert vertex.extra_load == pytest.approx(expected)
+
+
+def test_place_and_optimize_flow(netlist):
+    clock = ClockConstraint(period=500.0)
+    result = place_and_optimize(netlist, clock, seed=4)
+    # Placement adds wire load, post-placement optimization recovers some of it.
+    assert result.post_placement.wns <= result.pre_placement.wns + 1e-9
+    assert result.post_optimization.wns >= result.post_placement.wns - 1e-9
+    assert result.placement.total_wirelength(netlist) > 0.0

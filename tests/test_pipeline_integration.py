@@ -1,0 +1,99 @@
+"""End-to-end integration tests of the RTLTimer pipeline.
+
+Covers the full workflow of Fig. 3: train on a set of designs, predict on an
+unseen design, annotate its HDL, derive synthesis options, and check the
+optimization loop runs.  Model sizes are kept small for speed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BitwiseConfig,
+    OverallConfig,
+    RTLTimer,
+    RTLTimerConfig,
+    SignalwiseConfig,
+    run_optimization_experiment,
+)
+from repro.hdl.parser import parse_source
+from repro.synth.optimizer import SynthesisOptions
+
+
+@pytest.fixture(scope="module")
+def trained_timer(tiny_records):
+    config = RTLTimerConfig(
+        bitwise=BitwiseConfig(
+            n_estimators=20,
+            max_depth=4,
+            variants=("sog", "aig"),
+            max_train_endpoints_per_design=60,
+        ),
+        signalwise=SignalwiseConfig(n_estimators=20, ranker_estimators=30),
+        overall=OverallConfig(n_estimators=15),
+    )
+    return RTLTimer(config).fit(tiny_records[:4])
+
+
+@pytest.fixture(scope="module")
+def prediction(trained_timer, tiny_records):
+    return trained_timer.predict(tiny_records[4])
+
+
+def test_prediction_structure(prediction, tiny_records):
+    test_record = tiny_records[4]
+    assert set(prediction.bitwise_arrival) == set(test_record.endpoint_names)
+    assert set(prediction.signal_arrival) == set(test_record.signal_labels())
+    assert set(prediction.signal_slack) == set(prediction.signal_arrival)
+    assert prediction.overall["wns"] <= 0.0
+    assert prediction.overall["tns"] <= prediction.overall["wns"] + 1e-9
+    assert prediction.runtime_seconds > 0.0
+
+
+def test_rank_groups_cover_signals(prediction):
+    assert set(prediction.rank_group) == set(prediction.signal_ranking)
+    assert set(prediction.rank_group.values()) <= {1, 2, 3, 4}
+
+
+def test_ranked_signals_sorted_by_score(prediction):
+    ranked = prediction.ranked_signals()
+    scores = [prediction.signal_ranking[s] for s in ranked]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_bitwise_accuracy_on_unseen_design(trained_timer, tiny_records):
+    metrics = trained_timer.evaluate_bitwise(tiny_records[4])
+    assert metrics["r"] > 0.5
+    assert metrics["mape"] < 60.0
+
+
+def test_signalwise_accuracy_on_unseen_design(trained_timer, tiny_records):
+    metrics = trained_timer.evaluate_signalwise(tiny_records[4])
+    assert metrics["r"] > 0.4
+    assert 0.0 <= metrics["ranking_covr"] <= 100.0
+
+
+def test_annotation_is_valid_verilog(trained_timer, tiny_records, prediction):
+    annotated = trained_timer.annotate(tiny_records[4], prediction)
+    module = parse_source(annotated)
+    assert module.name == tiny_records[4].design.name
+    assert "Slack@" in annotated
+
+
+def test_synthesis_options_from_prediction(trained_timer, tiny_records, prediction):
+    options = trained_timer.synthesis_options(tiny_records[4], prediction)
+    assert isinstance(options, SynthesisOptions)
+    assert options.uses_grouping
+    assert options.uses_retiming
+
+
+def test_prediction_driven_optimization_runs(trained_timer, tiny_records, prediction):
+    outcome = run_optimization_experiment(
+        tiny_records[4], prediction.ranked_signals(), ranking_source="predicted"
+    )
+    assert outcome.default.wns <= 0.0
+    assert np.isfinite(outcome.tns_change_pct)
+
+
+def test_training_designs_recorded(trained_timer, tiny_records):
+    assert trained_timer.training_designs_ == [r.name for r in tiny_records[:4]]

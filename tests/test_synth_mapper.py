@@ -1,0 +1,100 @@
+"""Tests for technology mapping (BOG -> netlist)."""
+
+import pytest
+
+from repro.bog.builder import build_sog
+from repro.sta import ClockConstraint, VertexKind, analyze
+from repro.synth import map_to_netlist, nangate45_like
+
+
+@pytest.fixture(scope="module")
+def sog(simple_design):
+    return build_sog(simple_design)
+
+
+@pytest.fixture(scope="module")
+def netlist(sog):
+    return map_to_netlist(sog, seed=5)
+
+
+def test_mapping_preserves_register_endpoints(sog, netlist):
+    rtl_endpoints = {e.name for e in sog.endpoints if e.kind == "register"}
+    mapped = {e.name for e in netlist.endpoints if e.kind == "register"}
+    assert mapped == rtl_endpoints
+
+
+def test_registers_become_dffs(netlist):
+    registers = [v for v in netlist.vertices if v.kind is VertexKind.REGISTER]
+    assert registers
+    assert all(v.cell is not None and v.cell.function == "DFF" for v in registers)
+
+
+def test_gates_use_library_cells(netlist):
+    library = netlist.library
+    for vertex in netlist.vertices:
+        if vertex.kind is VertexKind.GATE:
+            assert vertex.cell.name in library.cells
+
+
+def test_mapping_is_deterministic_per_seed(sog):
+    first = map_to_netlist(sog, seed=9)
+    second = map_to_netlist(sog, seed=9)
+    assert first.cell_histogram() == second.cell_histogram()
+    assert [v.derate for v in first.vertices] == [v.derate for v in second.vertices]
+
+
+def test_different_seeds_change_mapping(sog):
+    first = map_to_netlist(sog, seed=1, alt_mapping_probability=0.5)
+    second = map_to_netlist(sog, seed=2, alt_mapping_probability=0.5)
+    assert first.cell_histogram() != second.cell_histogram()
+
+
+def test_alt_probability_controls_nand_usage(sog):
+    never = map_to_netlist(sog, seed=3, alt_mapping_probability=0.0)
+    always = map_to_netlist(sog, seed=3, alt_mapping_probability=1.0)
+    assert never.cell_histogram().get("NAND2", 0) == 0
+    assert always.cell_histogram().get("AND2", 0) == 0
+
+
+def test_tree_balancing_reduces_depth():
+    """A long reduction chain maps to a shallower balanced tree."""
+    from repro.bog.graph import BOG
+
+    chain = BOG("chain", variant="sog")
+    inputs = [chain.add_input(f"i{k}") for k in range(16)]
+    node = inputs[0]
+    for nxt in inputs[1:]:
+        node = chain.OR(node, nxt)
+    reg = chain.add_register("R[0]")
+    chain.add_endpoint("R[0]", "R", 0, node, reg_node=reg)
+
+    balanced = map_to_netlist(chain, seed=0, balance_trees=True, alt_mapping_probability=0.0)
+    linear = map_to_netlist(chain, seed=0, balance_trees=False, alt_mapping_probability=0.0)
+
+    def depth(netlist):
+        levels = [0] * len(netlist.vertices)
+        for vid in netlist.topological_order():
+            vertex = netlist.vertices[vid]
+            if vertex.fanins:
+                levels[vid] = 1 + max(levels[f] for f in vertex.fanins)
+        return max(levels)
+
+    assert depth(balanced) < depth(linear)
+
+
+def test_cone_effort_derates_in_range(netlist):
+    for vertex in netlist.vertices:
+        assert 0.3 <= vertex.derate <= 1.0
+
+
+def test_netlist_analyzes_cleanly(netlist):
+    report = analyze(netlist, ClockConstraint(period=800.0))
+    assert report.summary()["max_arrival"] > 0.0
+
+
+def test_qor_accounting(netlist):
+    report = analyze(netlist, ClockConstraint(period=800.0))
+    qor = netlist.qor(report)
+    assert qor.area > 0 and qor.total_power > 0
+    assert qor.n_registers == netlist.register_count()
+    assert set(qor.as_dict()) >= {"wns", "tns", "area", "total_power"}
