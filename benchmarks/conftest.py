@@ -6,18 +6,28 @@ these fixtures; the individual benchmark files then assemble the tables and
 figures of the paper from the cached results and only time the inexpensive
 inference / analysis step with pytest-benchmark.
 
+The dataset fixture goes through the :mod:`repro.runtime` engine: records
+are loaded from the content-addressed artifact cache when possible and the
+misses are elaborated in parallel (``REPRO_JOBS`` controls the fan-out,
+``REPRO_CACHE=0`` forces a rebuild).  Everything is instrumented into a
+session-wide :class:`~repro.runtime.report.RuntimeReport` which is written
+to ``BENCH_runtime.json`` (``REPRO_BENCH_OUT`` overrides the path) when the
+session ends — the CI benchmark-trend job uploads that file as a build
+artifact on every commit.
+
 Scale note: model sizes and the number of CV folds are reduced relative to
 the paper (3 folds instead of 10, smaller boosted ensembles) so the whole
-harness runs in minutes on a laptop; EXPERIMENTS.md records the resulting
-numbers next to the paper's.
+harness runs in minutes on a laptop; setting ``REPRO_BENCH_FAST=1`` (the CI
+benchmark job does) shrinks them further for trend tracking rather than
+paper-grade numbers.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -31,20 +41,27 @@ from repro.core import (
 from repro.core.dataset import DesignRecord
 from repro.hdl.generate import BENCHMARK_SPECS
 from repro.ml.preprocessing import group_kfold
+from repro.runtime import RuntimeReport, activate, resolve_jobs, write_bench_report
 
+#: CI benchmark-trend mode: smaller models, fewer folds, same pipeline shape.
+FAST_MODE = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
 
 #: Number of cross-validation folds (the paper uses 10; 3 keeps runtime low).
-N_FOLDS = 3
+N_FOLDS = 2 if FAST_MODE else 3
 
 FAST_CONFIG = RTLTimerConfig(
     bitwise=BitwiseConfig(
-        n_estimators=40,
+        n_estimators=20 if FAST_MODE else 40,
         max_depth=5,
-        max_train_endpoints_per_design=120,
+        max_train_endpoints_per_design=80 if FAST_MODE else 120,
         seed=7,
     ),
-    signalwise=SignalwiseConfig(n_estimators=40, ranker_estimators=60, seed=7),
-    overall=OverallConfig(n_estimators=30, seed=7),
+    signalwise=SignalwiseConfig(
+        n_estimators=20 if FAST_MODE else 40,
+        ranker_estimators=30 if FAST_MODE else 60,
+        seed=7,
+    ),
+    overall=OverallConfig(n_estimators=15 if FAST_MODE else 30, seed=7),
 )
 
 
@@ -64,30 +81,47 @@ class CVResults:
 
 
 @pytest.fixture(scope="session")
-def dataset_records() -> List[DesignRecord]:
-    """The 21-design benchmark suite with labels (Table 3)."""
-    return build_dataset(BENCHMARK_SPECS)
+def runtime_report():
+    """Session-wide instrumentation, flushed to BENCH_runtime.json at exit."""
+    report = RuntimeReport(
+        meta={
+            "suite": "benchmarks",
+            "fast_mode": FAST_MODE,
+            "n_folds": N_FOLDS,
+            "jobs": resolve_jobs(len(BENCHMARK_SPECS)),
+        }
+    )
+    yield report
+    write_bench_report(report)
 
 
 @pytest.fixture(scope="session")
-def cv_results(dataset_records) -> CVResults:
+def dataset_records(runtime_report) -> List[DesignRecord]:
+    """The 21-design benchmark suite with labels (Table 3)."""
+    return build_dataset(BENCHMARK_SPECS, report=runtime_report)
+
+
+@pytest.fixture(scope="session")
+def cv_results(dataset_records, runtime_report) -> CVResults:
     """Cross-design CV predictions for every design in the suite."""
     names = [record.name for record in dataset_records]
     results = CVResults(records=dataset_records)
 
-    for fold, (train_idx, test_idx) in enumerate(
-        group_kfold(names, n_splits=N_FOLDS, seed=3)
-    ):
-        train_records = [dataset_records[i] for i in train_idx]
-        test_records = [dataset_records[i] for i in test_idx]
-        timer = RTLTimer(FAST_CONFIG).fit(train_records)
-        for record in test_records:
-            prediction = timer.predict(record)
-            results.bitwise[record.name] = prediction.bitwise_arrival
-            results.signal_arrival[record.name] = prediction.signal_arrival
-            results.signal_ranking[record.name] = prediction.signal_ranking
-            results.overall[record.name] = prediction.overall
-            results.fold_of[record.name] = fold
+    with activate(runtime_report), runtime_report.stage("benchmarks.cross_validation"):
+        for fold, (train_idx, test_idx) in enumerate(
+            group_kfold(names, n_splits=N_FOLDS, seed=3)
+        ):
+            train_records = [dataset_records[i] for i in train_idx]
+            test_records = [dataset_records[i] for i in test_idx]
+            with runtime_report.stage("benchmarks.cv_fit"):
+                timer = RTLTimer(FAST_CONFIG).fit(train_records)
+            batch = timer.predict_batch(test_records, report=runtime_report)
+            for record, prediction in zip(test_records, batch):
+                results.bitwise[record.name] = prediction.bitwise_arrival
+                results.signal_arrival[record.name] = prediction.signal_arrival
+                results.signal_ranking[record.name] = prediction.signal_ranking
+                results.overall[record.name] = prediction.overall
+                results.fold_of[record.name] = fold
     return results
 
 

@@ -8,8 +8,6 @@ This benchmark measures the same ratios on our substrate.
 
 import time
 
-import numpy as np
-
 from benchmarks.conftest import FAST_CONFIG, print_table
 from repro.core import RTLTimer
 from repro.core.features import extract_path_dataset
@@ -28,7 +26,7 @@ def test_runtime_fractions(dataset_records, benchmark):
 
     # Default synthesis runtime (label flow).
     started = time.perf_counter()
-    default = synthesize_bog(record.bogs["sog"], record.clock, SynthesisOptions(seed=3), seed=3)
+    synthesize_bog(record.bogs["sog"], record.clock, SynthesisOptions(seed=3), seed=3)
     synthesis_runtime = time.perf_counter() - started
 
     # RTL processing runtime: representation construction + path sampling/features.

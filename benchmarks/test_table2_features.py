@@ -1,6 +1,5 @@
 """Table 2: per-feature correlation with the endpoint arrival-time label."""
 
-import numpy as np
 
 from benchmarks.conftest import print_table
 from repro.core.features import PATH_FEATURE_NAMES, combine_path_datasets, extract_path_dataset

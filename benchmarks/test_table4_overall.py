@@ -7,7 +7,7 @@ baseline (single SOG representation), using the same cross-design protocol.
 
 import numpy as np
 
-from benchmarks.conftest import FAST_CONFIG, print_table
+from benchmarks.conftest import print_table
 from repro.core.metrics import mape, pearson_r, r_squared
 from repro.core.overall import OverallConfig, OverallTimingModel
 from repro.ml.preprocessing import group_kfold

@@ -7,7 +7,6 @@ The table reports the percentage change of WNS, TNS, power and area
 (negative WNS/TNS change = timing improvement), plus the Avg1/Avg2 rows.
 """
 
-import numpy as np
 
 from benchmarks.conftest import print_table
 from repro.core.optimize import (

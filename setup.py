@@ -7,13 +7,6 @@ so the package can be installed in environments without the ``wheel`` package
     python setup.py develop
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="0.1.0",
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-    install_requires=["numpy", "scipy", "networkx"],
-)
+setup()

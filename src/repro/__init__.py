@@ -11,19 +11,23 @@ numpy.
 Public entry points:
 
 * :class:`repro.core.RTLTimer` -- the fine-grained timing estimator,
-* :func:`repro.core.build_dataset` -- benchmark suite + label generation,
+* :func:`repro.core.build_dataset` -- benchmark suite + label generation
+  (parallel + cached via :mod:`repro.runtime`),
 * :func:`repro.core.run_optimization_experiment` -- prediction-driven
   ``group_path`` / ``retime`` synthesis optimization,
+* :mod:`repro.runtime` -- the execution engine: process-pool fan-out,
+  content-addressed artifact caching, structured runtime reports,
 * :mod:`repro.hdl`, :mod:`repro.bog`, :mod:`repro.synth`, :mod:`repro.sta`,
   :mod:`repro.physical`, :mod:`repro.ml` -- the substrates.
 """
 
-from repro.core.pipeline import RTLTimer, RTLTimerConfig, RTLTimerPrediction
+from repro.core.pipeline import BatchPrediction, RTLTimer, RTLTimerConfig, RTLTimerPrediction
 from repro.core.dataset import DatasetConfig, DesignRecord, build_dataset, build_design_record
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "BatchPrediction",
     "RTLTimer",
     "RTLTimerConfig",
     "RTLTimerPrediction",

@@ -16,7 +16,7 @@ Conventions
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List
 
 from repro.bog.graph import BOG
 from repro.hdl.ast_nodes import (

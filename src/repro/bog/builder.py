@@ -26,7 +26,7 @@ from repro.hdl.ast_nodes import (
     Ternary,
     UnaryOp,
 )
-from repro.hdl.design import AnalysisError, Design, SignalKind, WireAssign
+from repro.hdl.design import AnalysisError, Design, WireAssign
 
 
 def bit_name(signal: str, bit: int) -> str:

@@ -17,8 +17,8 @@ cell.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 
 class NodeType(enum.Enum):
@@ -48,7 +48,7 @@ BOG_VARIANTS: Tuple[str, ...] = ("sog", "aig", "aimg", "xag")
 _SOURCE_TYPES = frozenset({NodeType.CONST0, NodeType.CONST1, NodeType.INPUT, NodeType.REG})
 
 
-@dataclass
+@dataclass(slots=True)
 class Node:
     """A single BOG node."""
 
@@ -70,7 +70,7 @@ class Node:
         return f"Node({self.id}, {self.type.value}{label}, fanins={list(self.fanins)})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Endpoint:
     """A timing endpoint: a register data pin or a primary output.
 

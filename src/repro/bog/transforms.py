@@ -18,7 +18,7 @@ used by the RTL-Timer pipeline.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict
 
 from repro.bog.builder import build_sog
 from repro.bog.graph import BOG, BOG_VARIANTS, Node, NodeType

@@ -13,6 +13,7 @@ from repro.core.dataset import (
     DatasetConfig,
     DesignRecord,
     build_dataset,
+    build_dataset_serial,
     build_design_record,
     dataset_summary,
 )
@@ -45,7 +46,7 @@ from repro.core.optimize import (
     run_optimization_experiment,
     summarize_outcomes,
 )
-from repro.core.pipeline import RTLTimer, RTLTimerConfig, RTLTimerPrediction
+from repro.core.pipeline import BatchPrediction, RTLTimer, RTLTimerConfig, RTLTimerPrediction
 
 __all__ = [
     "DEFAULT_GROUP_FRACTIONS",
@@ -58,6 +59,7 @@ __all__ = [
     "DatasetConfig",
     "DesignRecord",
     "build_dataset",
+    "build_dataset_serial",
     "build_design_record",
     "dataset_summary",
     "EndpointSamples",
@@ -89,6 +91,7 @@ __all__ = [
     "ranking_from_labels",
     "run_optimization_experiment",
     "summarize_outcomes",
+    "BatchPrediction",
     "RTLTimer",
     "RTLTimerConfig",
     "RTLTimerPrediction",

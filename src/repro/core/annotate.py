@@ -10,7 +10,7 @@ shown in Fig. 3 (step 3) of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional
 
 from repro.core.dataset import DesignRecord
 from repro.core.metrics import criticality_groups

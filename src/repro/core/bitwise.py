@@ -14,7 +14,7 @@ prediction, which is what reduces the cross-design variance in Table 5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -21,13 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.bog.graph import BOG, BOG_VARIANTS
 from repro.bog.transforms import build_variants
 from repro.hdl.design import Design, analyze
 from repro.hdl.generate import BENCHMARK_SPECS, DesignSpec, generate_design
 from repro.hdl.parser import parse_source
+from repro.runtime.report import stage as _stage
 from repro.sta.constraints import ClockConstraint
 from repro.sta.engine import STAReport, analyze as sta_analyze
 from repro.sta.network import TimingNetwork, from_bog
@@ -142,33 +141,37 @@ def build_design_record(
         source = str(spec_or_source)
         design_name = name or "user_design"
 
-    module = parse_source(source)
-    design = analyze(module, source=source)
+    with _stage("dataset.parse_analyze"):
+        module = parse_source(source)
+        design = analyze(module, source=source)
     if name:
         design_name = name
 
-    bogs = build_variants(design, tuple(config.variants))
+    with _stage("dataset.bog_variants"):
+        bogs = build_variants(design, tuple(config.variants))
 
     pseudo_clock = ClockConstraint(period=config.pseudo_clock_period)
     pseudo_networks: Dict[str, TimingNetwork] = {}
     pseudo_reports: Dict[str, STAReport] = {}
-    for variant, bog in bogs.items():
-        network = from_bog(bog)
-        pseudo_networks[variant] = network
-        pseudo_reports[variant] = sta_analyze(network, pseudo_clock)
+    with _stage("dataset.pseudo_sta"):
+        for variant, bog in bogs.items():
+            network = from_bog(bog)
+            pseudo_networks[variant] = network
+            pseudo_reports[variant] = sta_analyze(network, pseudo_clock)
 
-    # Ground-truth synthesis with default options.
-    provisional_clock = ClockConstraint(period=config.pseudo_clock_period)
-    synthesis = synthesize_bog(bogs["sog"], provisional_clock, SynthesisOptions())
+    with _stage("dataset.label_synthesis"):
+        # Ground-truth synthesis with default options.
+        provisional_clock = ClockConstraint(period=config.pseudo_clock_period)
+        synthesis = synthesize_bog(bogs["sog"], provisional_clock, SynthesisOptions())
 
-    # Choose the design clock so that a realistic fraction of endpoints violate,
-    # then recompute the label report against that clock.
-    max_arrival = max((e.arrival for e in synthesis.report.endpoints), default=1.0)
-    period = max(50.0, config.clock_utilization * max_arrival)
-    clock = ClockConstraint(period=period)
-    label_report = sta_analyze(synthesis.netlist, clock)
-    synthesis.report = label_report
-    synthesis.qor = synthesis.netlist.qor(label_report)
+        # Choose the design clock so that a realistic fraction of endpoints
+        # violate, then recompute the label report against that clock.
+        max_arrival = max((e.arrival for e in synthesis.report.endpoints), default=1.0)
+        period = max(50.0, config.clock_utilization * max_arrival)
+        clock = ClockConstraint(period=period)
+        label_report = sta_analyze(synthesis.netlist, clock)
+        synthesis.report = label_report
+        synthesis.qor = synthesis.netlist.qor(label_report)
 
     labels = {
         endpoint.name: endpoint.arrival
@@ -198,8 +201,30 @@ def build_design_record(
 def build_dataset(
     specs: Sequence[DesignSpec] = BENCHMARK_SPECS,
     config: Optional[DatasetConfig] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache=None,
+    report=None,
 ) -> List[DesignRecord]:
-    """Build records for a benchmark suite (Table 3 of the paper)."""
+    """Build records for a benchmark suite (Table 3 of the paper).
+
+    Delegates to the :mod:`repro.runtime` engine: specs already present in
+    the content-addressed artifact cache are loaded from disk, the rest are
+    elaborated in parallel across ``jobs`` worker processes (``REPRO_JOBS``
+    env var, default ``os.cpu_count()``), and results come back in spec
+    order — element-wise identical to a serial build.  See
+    :func:`repro.runtime.parallel.build_dataset_parallel` for the knobs.
+    """
+    from repro.runtime.parallel import build_dataset_parallel
+
+    return build_dataset_parallel(specs, config, jobs=jobs, cache=cache, report=report)
+
+
+def build_dataset_serial(
+    specs: Sequence[DesignSpec] = BENCHMARK_SPECS,
+    config: Optional[DatasetConfig] = None,
+) -> List[DesignRecord]:
+    """The seed's uncached in-process build; reference path for determinism tests."""
     config = config or DatasetConfig()
     return [build_design_record(spec, config) for spec in specs]
 

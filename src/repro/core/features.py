@@ -18,7 +18,7 @@ baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.dataset import DesignRecord
 from repro.core.sampling import EndpointSamples, SamplingConfig, sample_design_paths
 from repro.ml.gnn import GraphData
+from repro.runtime.report import stage as _stage
 from repro.sta.engine import STAReport
 from repro.sta.network import TimingNetwork, VertexKind
 from repro.sta.paths import path_arrival
@@ -91,6 +92,16 @@ def extract_path_dataset(
     endpoint_names: Optional[Sequence[str]] = None,
 ) -> PathDataset:
     """Extract the path-level dataset of one design for one BOG variant."""
+    with _stage("features.extract_path_dataset"):
+        return _extract_path_dataset(record, variant, sampling, endpoint_names)
+
+
+def _extract_path_dataset(
+    record: DesignRecord,
+    variant: str,
+    sampling: Optional[SamplingConfig],
+    endpoint_names: Optional[Sequence[str]],
+) -> PathDataset:
     sampling = sampling or SamplingConfig()
     network = record.pseudo_networks[variant]
     report = record.pseudo_reports[variant]

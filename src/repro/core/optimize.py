@@ -17,7 +17,7 @@ the "Opt. w. Real" columns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.dataset import DesignRecord
 from repro.core.metrics import DEFAULT_GROUP_FRACTIONS

@@ -15,7 +15,7 @@ Three feature modes reproduce the paper's Table 4 comparison:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -32,6 +32,7 @@ from repro.core.metrics import regression_metrics
 from repro.core.optimize import options_from_ranking
 from repro.core.overall import OverallConfig, OverallTimingModel
 from repro.core.signalwise import SignalwiseConfig, SignalwiseModel
+from repro.runtime.report import RuntimeReport
 from repro.synth.optimizer import SynthesisOptions
 
 
@@ -61,6 +62,28 @@ class RTLTimerPrediction:
     def ranked_signals(self) -> List[str]:
         """Signals ordered from most critical to least critical."""
         return sorted(self.signal_ranking, key=lambda s: -self.signal_ranking[s])
+
+
+@dataclass
+class BatchPrediction:
+    """Result of :meth:`RTLTimer.predict_batch`: predictions + stage timings.
+
+    Behaves like the list of per-design predictions (iteration, indexing,
+    ``len``) while carrying the :class:`~repro.runtime.report.RuntimeReport`
+    with per-stage wall time and counters for the whole batch.
+    """
+
+    predictions: List[RTLTimerPrediction]
+    report: RuntimeReport
+
+    def __iter__(self):
+        return iter(self.predictions)
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+    def __getitem__(self, index):
+        return self.predictions[index]
 
 
 class RTLTimer:
@@ -93,14 +116,78 @@ class RTLTimer:
         bitwise_arrival = self.bitwise.predict(record)
         signal_prediction = self.signalwise.predict(record, bitwise_arrival)
         overall = self.overall.predict(record, bitwise_arrival)
+        return self._assemble_prediction(
+            record,
+            bitwise_arrival,
+            signal_prediction,
+            overall,
+            time.perf_counter() - started,
+        )
 
+    def predict_batch(
+        self,
+        records: Sequence[DesignRecord],
+        report: Optional[RuntimeReport] = None,
+    ) -> BatchPrediction:
+        """Run the prediction stack over many designs, one stage at a time.
+
+        Dispatching stage-by-stage instead of design-by-design amortizes the
+        per-stage model setup across the whole batch and lets each stage be
+        timed as a unit: the returned :class:`BatchPrediction` carries a
+        :class:`~repro.runtime.report.RuntimeReport` with ``inference.*``
+        stage wall times next to the per-design predictions (which are
+        identical to calling :meth:`predict` on each record).
+        """
+        report = report if report is not None else RuntimeReport()
+        records = list(records)
+        per_design = [0.0] * len(records)
+
+        def timed(index: int, compute):
+            started = time.perf_counter()
+            value = compute()
+            per_design[index] += time.perf_counter() - started
+            return value
+
+        with report.stage("inference.batch"):
+            with report.stage("inference.bitwise"):
+                bitwise = [
+                    timed(i, lambda i=i: self.bitwise.predict(records[i]))
+                    for i in range(len(records))
+                ]
+            with report.stage("inference.signalwise"):
+                signal = [
+                    timed(i, lambda i=i: self.signalwise.predict(records[i], bitwise[i]))
+                    for i in range(len(records))
+                ]
+            with report.stage("inference.overall"):
+                overall = [
+                    timed(i, lambda i=i: self.overall.predict(records[i], bitwise[i]))
+                    for i in range(len(records))
+                ]
+            with report.stage("inference.assemble"):
+                predictions = [
+                    self._assemble_prediction(
+                        records[i], bitwise[i], signal[i], overall[i], per_design[i]
+                    )
+                    for i in range(len(records))
+                ]
+        report.incr("inference_designs", len(records))
+        return BatchPrediction(predictions=predictions, report=report)
+
+    def _assemble_prediction(
+        self,
+        record: DesignRecord,
+        bitwise_arrival: Dict[str, float],
+        signal_prediction: Mapping[str, Dict[str, float]],
+        overall: Dict[str, float],
+        runtime: float,
+    ) -> RTLTimerPrediction:
         required = record.clock.required_time(record._setup_time())
         signal_slack = {
             signal: required - arrival
             for signal, arrival in signal_prediction["arrival"].items()
         }
         groups = ranking_groups(signal_prediction["ranking"])
-        runtime = time.perf_counter() - started
         return RTLTimerPrediction(
             design=record.name,
             bitwise_arrival=bitwise_arrival,

@@ -8,7 +8,7 @@ immutable dataclass so trees can be shared safely between representations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 
 # ---------------------------------------------------------------------------

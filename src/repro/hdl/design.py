@@ -17,8 +17,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.hdl.ast_nodes import (
-    AlwaysFF,
-    Assign,
     BinaryOp,
     BitSelect,
     Concat,

@@ -26,11 +26,12 @@ documented in DESIGN.md.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hdl.design import Design, analyze
 from repro.hdl.parser import parse_source
+from repro.runtime.report import stage as _stage
 
 
 @dataclass(frozen=True)
@@ -157,7 +158,8 @@ def benchmark_suite(
 def generate_design(spec: DesignSpec, config: Optional[GeneratorConfig] = None) -> str:
     """Generate the Verilog source for one design described by ``spec``."""
     config = config or GeneratorConfig()
-    return _DesignWriter(spec, config).build()
+    with _stage("hdl.generate_design"):
+        return _DesignWriter(spec, config).build()
 
 
 def generate_and_analyze(
@@ -201,7 +203,6 @@ class _DesignWriter:
 
     def build(self) -> str:
         spec = self.spec
-        width = spec.data_width
 
         inputs = self._make_inputs()
         control_inputs = self._make_control_inputs()

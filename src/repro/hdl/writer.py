@@ -11,11 +11,9 @@ Two jobs live here:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from repro.hdl.ast_nodes import (
-    AlwaysFF,
-    Assign,
     BinaryOp,
     BitSelect,
     Concat,

@@ -162,7 +162,6 @@ class TransformerPathRegressor(Estimator):
     def _backward(self, cache: dict, output_gradient: np.ndarray) -> dict:
         p = self.params_
         grads = {key: np.zeros_like(value) for key, value in p.items()}
-        batch = len(output_gradient)
 
         d_output = output_gradient.reshape(-1, 1)
         grads["head2"] = cache["hidden"].T @ d_output

@@ -9,7 +9,7 @@ or Newton steps from per-sample gradients/hessians (XGBoost-style boosting).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

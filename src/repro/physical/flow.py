@@ -8,7 +8,6 @@ post-placement timing optimization.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.physical.placement import Placement, apply_wire_loads, place
 from repro.sta.constraints import ClockConstraint

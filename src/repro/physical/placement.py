@@ -19,10 +19,10 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
-from repro.sta.network import TimingNetwork, VertexKind
+from repro.sta.network import TimingNetwork
 
 
 #: Wire capacitance per micron of Manhattan wirelength (fF/um).

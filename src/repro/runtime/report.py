@@ -1,0 +1,184 @@
+"""Structured runtime instrumentation for the execution engine.
+
+A :class:`RuntimeReport` accumulates per-stage wall time, call counts and
+event counters across one run of the stack (dataset construction, training,
+inference, benchmarks).  Any layer of the codebase can participate without
+threading a report object through every signature: a report is *activated*
+for the current context (:func:`activate`) and lower layers record into it
+via the module-level :func:`stage` / :func:`incr` helpers, which are no-ops
+when no report is active.
+
+The serialized form (``BENCH_runtime.json``, see :meth:`RuntimeReport.write`)
+is the machine-readable perf trajectory consumed by the CI benchmark-trend
+job: per-stage seconds, cache hit/miss counts and designs/second, in the
+spirit of coreblocks' per-commit ``benchmark.json``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+#: Environment variable overriding where :meth:`RuntimeReport.write` puts the report.
+BENCH_ENV_VAR = "REPRO_BENCH_OUT"
+
+#: Default report filename (relative to the current working directory).
+DEFAULT_BENCH_PATH = "BENCH_runtime.json"
+
+#: Version tag of the emitted JSON schema.
+REPORT_SCHEMA = "repro-bench-runtime/1"
+
+
+@dataclass
+class RuntimeReport:
+    """Accumulated per-stage wall time and counters for one run."""
+
+    stages: Dict[str, float] = field(default_factory=dict)
+    stage_calls: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # -- recording ----------------------------------------------------------
+
+    def add_stage(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` of wall time to stage ``name``."""
+        self.stages[name] = self.stages.get(name, 0.0) + float(seconds)
+        self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+
+    @contextlib.contextmanager
+    def stage(self, name: str) -> Iterator["RuntimeReport"]:
+        """Time the enclosed block under stage ``name``.
+
+        Stages may nest; a nested stage's time is counted both in its own
+        entry and in every enclosing stage (entries are independent timers,
+        not a strict tree).
+        """
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_stage(name, time.perf_counter() - started)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment event counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + int(amount)
+
+    def merge(self, other: "RuntimeReport") -> "RuntimeReport":
+        """Fold another report's stages and counters into this one."""
+        for name, seconds in other.stages.items():
+            self.stages[name] = self.stages.get(name, 0.0) + seconds
+        for name, calls in other.stage_calls.items():
+            self.stage_calls[name] = self.stage_calls.get(name, 0) + calls
+        for name, amount in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + amount
+        self.meta.update(other.meta)
+        return self
+
+    # -- derived ------------------------------------------------------------
+
+    def stage_seconds(self, name: str, default: float = 0.0) -> float:
+        return self.stages.get(name, default)
+
+    def designs_per_second(self) -> Optional[float]:
+        """Dataset throughput, when both the counter and the stage exist."""
+        designs = self.counters.get("designs", 0)
+        build = self.stages.get("dataset.build", 0.0)
+        if designs <= 0 or build <= 0.0:
+            return None
+        return designs / build
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        derived: Dict[str, object] = {}
+        throughput = self.designs_per_second()
+        if throughput is not None:
+            derived["designs_per_second"] = round(throughput, 4)
+        hits = self.counters.get("cache_hits", 0)
+        misses = self.counters.get("cache_misses", 0)
+        if hits + misses:
+            derived["cache_hit_rate"] = round(hits / (hits + misses), 4)
+        return {
+            "schema": REPORT_SCHEMA,
+            "generated_at": time.time(),
+            "meta": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "argv": sys.argv[:4],
+                **self.meta,
+            },
+            "stages": {name: round(seconds, 6) for name, seconds in sorted(self.stages.items())},
+            "stage_calls": dict(sorted(self.stage_calls.items())),
+            "counters": dict(sorted(self.counters.items())),
+            "derived": derived,
+        }
+
+    def write(self, path: Optional[os.PathLike] = None) -> Path:
+        """Write the report as JSON; returns the path written.
+
+        The destination is, in order of precedence: the explicit ``path``
+        argument, the ``REPRO_BENCH_OUT`` environment variable, or
+        ``BENCH_runtime.json`` in the current directory.
+        """
+        if path is None:
+            path = os.environ.get(BENCH_ENV_VAR) or DEFAULT_BENCH_PATH
+        destination = Path(path)
+        if destination.parent != Path("."):
+            destination.parent.mkdir(parents=True, exist_ok=True)
+        destination.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n")
+        return destination
+
+
+# ---------------------------------------------------------------------------
+# Active-report plumbing
+# ---------------------------------------------------------------------------
+
+_ACTIVE: contextvars.ContextVar[Optional[RuntimeReport]] = contextvars.ContextVar(
+    "repro_runtime_report", default=None
+)
+
+
+def active_report() -> Optional[RuntimeReport]:
+    """The report currently collecting instrumentation, if any."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def activate(report: RuntimeReport) -> Iterator[RuntimeReport]:
+    """Make ``report`` the active collector for the enclosed block."""
+    token = _ACTIVE.set(report)
+    try:
+        yield report
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextlib.contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time the enclosed block into the active report (no-op when inactive)."""
+    report = _ACTIVE.get()
+    if report is None:
+        yield
+        return
+    with report.stage(name):
+        yield
+
+
+def incr(name: str, amount: int = 1) -> None:
+    """Increment a counter on the active report (no-op when inactive)."""
+    report = _ACTIVE.get()
+    if report is not None:
+        report.incr(name, amount)
+
+
+def write_bench_report(report: RuntimeReport, path: Optional[os.PathLike] = None) -> Path:
+    """Convenience wrapper used by the benchmark harness."""
+    return report.write(path)

@@ -16,10 +16,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.sta.constraints import ClockConstraint
-from repro.sta.network import TimingEndpoint, TimingNetwork, VertexKind
+from repro.sta.network import TimingNetwork, VertexKind
 
 
-@dataclass
+@dataclass(slots=True)
 class EndpointTiming:
     """Timing result at one endpoint."""
 

@@ -26,7 +26,7 @@ class VertexKind(enum.Enum):
     GATE = "gate"  # combinational cell
 
 
-@dataclass
+@dataclass(slots=True)
 class TimingVertex:
     """One vertex of the timing graph."""
 
@@ -43,7 +43,7 @@ class TimingVertex:
         return self.kind in (VertexKind.INPUT, VertexKind.REGISTER)
 
 
-@dataclass
+@dataclass(slots=True)
 class TimingEndpoint:
     """A timing endpoint: register data pin or primary output pin."""
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Sequence, Set
 
 from repro.sta.engine import STAReport, arrival_delay_of
 from repro.sta.network import TimingNetwork, VertexKind

@@ -21,7 +21,6 @@ cell sizing and structural retiming moves, with full STA between passes.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -87,7 +86,6 @@ def optimize(
 ) -> tuple[STAReport, OptimizationTrace]:
     """Optimize ``netlist`` in place and return the final STA report."""
     options = options or SynthesisOptions()
-    rng = random.Random(options.seed)
     trace = OptimizationTrace()
 
     report = analyze(netlist, clock)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.dataset import DatasetConfig, DesignRecord, build_design_record
 from repro.hdl.design import analyze
-from repro.hdl.generate import DesignSpec, generate_design
+from repro.hdl.generate import DesignSpec
 from repro.hdl.parser import parse_source
 
 

@@ -12,7 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bog.builder import bit_name, build_sog
-from repro.bog.graph import BOG_VARIANTS, NodeType, VARIANT_OPERATORS
+from repro.bog.graph import VARIANT_OPERATORS
 from repro.bog.simulate import evaluate_signal_words
 from repro.bog.transforms import build_variants, convert
 from repro.hdl.design import analyze

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bog.graph import BOG, NodeType, VARIANT_OPERATORS
+from repro.bog.graph import BOG
 
 
 @pytest.fixture

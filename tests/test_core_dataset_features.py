@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.dataset import DatasetConfig, build_design_record, dataset_summary
+from repro.core.dataset import dataset_summary
 from repro.core.features import (
     PATH_FEATURE_NAMES,
     bog_graph_data,

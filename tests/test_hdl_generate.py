@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.hdl.design import analyze
 from repro.hdl.generate import (
     BENCHMARK_SPECS,
     DesignSpec,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hdl.lexer import Lexer, LexerError, TokenKind, tokenize
+from repro.hdl.lexer import LexerError, TokenKind, tokenize
 
 
 def kinds(source):

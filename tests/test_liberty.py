@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.liberty import Cell, Library, nangate45_like, pseudo_library
+from repro.liberty import nangate45_like, pseudo_library
 
 
 @pytest.fixture(scope="module")

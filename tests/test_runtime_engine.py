@@ -1,0 +1,270 @@
+"""Tests for the execution engine: cache, parallel builds, batch inference."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.core import RTLTimer, RTLTimerConfig, BitwiseConfig, build_dataset, build_dataset_serial
+from repro.core.dataset import DatasetConfig
+from repro.runtime import (
+    ArtifactCache,
+    RuntimeReport,
+    activate,
+    build_dataset_parallel,
+    incr,
+    record_fingerprint,
+    record_key,
+    resolve_jobs,
+    stage,
+)
+
+from tests.conftest import TINY_SPECS
+
+
+@pytest.fixture
+def cache(tmp_path) -> ArtifactCache:
+    return ArtifactCache(directory=tmp_path / "cache", enabled=True)
+
+
+# ---------------------------------------------------------------------------
+# Artifact cache
+# ---------------------------------------------------------------------------
+
+
+def test_cache_roundtrip_and_stats(cache):
+    key = "ab" + "0" * 62
+    assert cache.get(key) is None
+    assert cache.stats.misses == 1
+    assert cache.put(key, {"value": [1, 2, 3]})
+    assert cache.get(key) == {"value": [1, 2, 3]}
+    assert cache.stats.hits == 1
+    assert cache.stats.stores == 1
+
+
+def test_cache_disabled_never_hits(tmp_path):
+    cache = ArtifactCache(directory=tmp_path, enabled=False)
+    key = "cd" + "0" * 62
+    assert not cache.put(key, "value")
+    assert cache.get(key) is None
+    assert cache.stats.hits == 0
+    assert cache.stats.misses == 1
+    assert not any(tmp_path.rglob("*.pkl"))
+
+
+def test_cache_corrupt_entry_is_a_miss_and_removed(cache):
+    key = "ef" + "0" * 62
+    cache.put(key, "good")
+    path = cache.path_for(key)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(key, "fallback") == "fallback"
+    assert not path.exists()
+    # The next build stores a fresh entry.
+    assert cache.load_or_build(key, lambda: "rebuilt") == "rebuilt"
+    assert cache.get(key) == "rebuilt"
+
+
+def test_load_or_build_builds_once(cache):
+    key = "01" + "0" * 62
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return "value"
+
+    assert cache.load_or_build(key, builder) == "value"
+    assert cache.load_or_build(key, builder) == "value"
+    assert len(calls) == 1
+
+
+def test_cache_put_swallows_unpicklable_values(cache):
+    key = "23" + "0" * 62
+    assert not cache.put(key, lambda: None)  # lambdas cannot be pickled
+    assert cache.get(key) is None
+    assert cache.stats.stores == 0
+
+
+def test_cache_prune_evicts_oldest_until_under_budget(cache):
+    for index in range(5):
+        key = f"{index:02d}" + "a" * 62
+        cache.put(key, b"x" * 1000)
+        path = cache.path_for(key)
+        os.utime(path, (index, index))  # deterministic mtime order
+    total = sum(p.stat().st_size for p in cache.directory.rglob("*.pkl"))
+    per_entry = total // 5
+    deleted = cache.prune(max_bytes=per_entry * 2)
+    assert deleted == 3
+    survivors = sorted(p.name[:2] for p in cache.directory.rglob("*.pkl"))
+    assert survivors == ["03", "04"]  # newest two remain
+    assert cache.prune(max_bytes=per_entry * 2) == 0  # already under budget
+
+
+def test_cache_prune_is_a_noop_when_disabled(tmp_path):
+    writer = ArtifactCache(directory=tmp_path, enabled=True)
+    key = "45" + "0" * 62
+    writer.put(key, b"x" * 1000)
+    disabled = ArtifactCache(directory=tmp_path, enabled=False)
+    assert disabled.prune(max_bytes=1) == 0
+    assert writer.path_for(key).exists()
+
+
+def test_record_key_invalidation():
+    spec = TINY_SPECS[0]
+    base = record_key(spec, DatasetConfig())
+    assert base == record_key(spec, DatasetConfig())
+    # Any change to the spec, the config or the source text changes the key.
+    assert record_key(dataclasses.replace(spec, seed=spec.seed + 1), DatasetConfig()) != base
+    assert record_key(spec, DatasetConfig(clock_utilization=0.5)) != base
+    assert record_key("module m(); endmodule", name="m") != base
+    assert record_key("module m(); endmodule", name="m") != record_key(
+        "module m(clk); input clk; endmodule", name="m"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parallel + cached dataset builds
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_build_matches_serial():
+    specs = TINY_SPECS[:3]
+    serial = build_dataset_serial(specs)
+    disabled = ArtifactCache(enabled=False)
+    parallel = build_dataset_parallel(specs, jobs=2, cache=disabled)
+    assert [r.name for r in parallel] == [s.name for s in specs]
+    assert [record_fingerprint(r) for r in parallel] == [record_fingerprint(r) for r in serial]
+    # Element-wise equality of the user-facing artefacts, not just hashes.
+    for a, b in zip(serial, parallel):
+        assert a.source == b.source
+        assert a.labels == b.labels
+        assert a.summary() == b.summary()
+
+
+def test_record_fingerprint_is_roundtrip_stable():
+    record = build_dataset_serial(TINY_SPECS[:1])[0]
+    reloaded = pickle.loads(pickle.dumps(record, protocol=5))
+    assert record_fingerprint(record) == record_fingerprint(reloaded)
+
+
+def test_build_dataset_cold_then_warm(cache):
+    specs = TINY_SPECS[:2]
+    report = RuntimeReport()
+    cold = build_dataset(specs, cache=cache, report=report)
+    assert report.counters["cache_misses"] == 2
+    assert report.counters["cache_stores"] == 2
+    assert report.counters["designs"] == 2
+
+    warm = build_dataset(specs, cache=cache, report=report)
+    assert report.counters["cache_hits"] == 2
+    assert report.counters["designs"] == 4
+    assert [record_fingerprint(r) for r in warm] == [record_fingerprint(r) for r in cold]
+
+
+def test_build_dataset_serial_fallback_via_jobs_env(cache, monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    report = RuntimeReport()
+    records = build_dataset(TINY_SPECS[:2], cache=cache, report=report)
+    assert len(records) == 2
+    assert "dataset.build_serial" in report.stages
+    assert "dataset.build_parallel" not in report.stages
+
+
+def test_resolve_jobs(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(n_tasks=1, jobs=8) == 1
+    assert resolve_jobs(n_tasks=10, jobs=2) == 2
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs(n_tasks=10) == 3
+    monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+    assert resolve_jobs(n_tasks=10) >= 1
+
+
+# ---------------------------------------------------------------------------
+# Runtime report
+# ---------------------------------------------------------------------------
+
+
+def test_runtime_report_stages_counters_and_json(tmp_path):
+    report = RuntimeReport(meta={"suite": "unit"})
+    with report.stage("outer"):
+        with report.stage("inner"):
+            pass
+        with report.stage("inner"):
+            pass
+    report.incr("designs", 4)
+    report.add_stage("dataset.build", 2.0)
+    assert report.stage_calls["inner"] == 2
+    assert report.stages["outer"] >= report.stages["inner"]
+    assert report.designs_per_second() == pytest.approx(2.0)
+
+    destination = report.write(tmp_path / "BENCH_runtime.json")
+    payload = json.loads(destination.read_text())
+    assert payload["schema"] == "repro-bench-runtime/1"
+    assert payload["meta"]["suite"] == "unit"
+    assert payload["counters"]["designs"] == 4
+    assert payload["derived"]["designs_per_second"] == pytest.approx(2.0)
+
+
+def test_active_report_helpers_are_noops_without_activation():
+    # Must not raise when no report is active.
+    with stage("anything"):
+        incr("anything")
+
+    report = RuntimeReport()
+    with activate(report):
+        with stage("timed"):
+            incr("events", 2)
+    assert "timed" in report.stages
+    assert report.counters["events"] == 2
+
+
+def test_report_merge():
+    a = RuntimeReport()
+    a.add_stage("s", 1.0)
+    a.incr("c", 1)
+    b = RuntimeReport(meta={"origin": "b"})
+    b.add_stage("s", 2.0)
+    b.incr("c", 2)
+    a.merge(b)
+    assert a.stages["s"] == pytest.approx(3.0)
+    assert a.counters["c"] == 3
+    assert a.meta["origin"] == "b"
+
+
+# ---------------------------------------------------------------------------
+# Batched inference
+# ---------------------------------------------------------------------------
+
+
+TINY_TIMER_CONFIG = RTLTimerConfig(
+    bitwise=BitwiseConfig(n_estimators=10, max_depth=3, seed=5),
+)
+
+
+def test_predict_batch_matches_predict(tiny_records):
+    train, test = tiny_records[:3], tiny_records[3:]
+    timer = RTLTimer(TINY_TIMER_CONFIG).fit(train)
+    batch = timer.predict_batch(test)
+    assert len(batch) == len(test)
+    for record, batched in zip(test, batch):
+        single = timer.predict(record)
+        assert batched.design == single.design
+        assert batched.bitwise_arrival == single.bitwise_arrival
+        assert batched.signal_arrival == single.signal_arrival
+        assert batched.signal_ranking == single.signal_ranking
+        assert batched.signal_slack == single.signal_slack
+        assert batched.rank_group == single.rank_group
+        assert batched.overall == single.overall
+
+    report = batch.report
+    for name in ("inference.batch", "inference.bitwise", "inference.signalwise",
+                 "inference.overall", "inference.assemble"):
+        assert name in report.stages
+    assert report.counters["inference_designs"] == len(test)
+    # Indexing and iteration behave like the prediction list.
+    assert batch[0] is batch.predictions[0]
+    assert [p.design for p in batch] == [r.name for r in test]

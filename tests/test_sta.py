@@ -1,6 +1,5 @@
 """Tests for the STA engine, constraints and path tracing."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -9,7 +8,6 @@ from repro.bog.builder import build_sog
 from repro.liberty import pseudo_library
 from repro.sta import (
     ClockConstraint,
-    TimingEndpoint,
     TimingNetwork,
     VertexKind,
     analyze,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bog.builder import build_sog
 from repro.sta import ClockConstraint, VertexKind, analyze
-from repro.synth import map_to_netlist, nangate45_like
+from repro.synth import map_to_netlist
 
 
 @pytest.fixture(scope="module")
