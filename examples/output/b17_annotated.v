@@ -1,0 +1,172 @@
+// Tech: NanGate45-like (synthetic)
+// Predicted WNS: -158.9ps, TNS: -928.4ps
+// Annotated by RTL-Timer reproduction (per-signal predicted slack and rank group)
+// Synthetic benchmark design: b17
+// family=itc99 hdl=VHDL seed=201
+module b17 (
+  clk, in_data0, in_data1, in_data2, in_data3, in_ctrl0, in_ctrl1, in_ctrl2, in_ctrl3, in_ctrl4, out_data0, out_flag
+);
+  input clk;
+  input [7:0] in_data0;
+  input [7:0] in_data1;
+  input [7:0] in_data2;
+  input [7:0] in_data3;
+  input in_ctrl0;
+  input in_ctrl1;
+  input in_ctrl2;
+  input in_ctrl3;
+  input in_ctrl4;
+  output [7:0] out_data0;
+  output out_flag;
+
+  reg ctrl_r0;  // (ctrl_r0) Slack@459.9ps rank@g4
+  reg ctrl_r1;  // (ctrl_r1) Slack@237.5ps rank@g3
+  reg ctrl_r2;  // (ctrl_r2) Slack@344.4ps rank@g4
+  reg ctrl_r3;  // (ctrl_r3) Slack@237.5ps rank@g3
+  reg ctrl_r4;  // (ctrl_r4) Slack@344.4ps rank@g4
+  reg ctrl_r5;  // (ctrl_r5) Slack@345.8ps rank@g4
+  reg ctrl_r6;  // (ctrl_r6) Slack@278.8ps rank@g3
+  reg ctrl_r7;  // (ctrl_r7) Slack@347.2ps rank@g4
+  reg ctrl_r8;  // (ctrl_r8) Slack@345.8ps rank@g4
+  reg ctrl_r9;  // (ctrl_r9) Slack@345.8ps rank@g4
+  reg [7:0] s0_r0;  // (s0_r0) Slack@175.9ps rank@g3
+  wire w0;
+  wire [7:0] w1;
+  reg [7:0] s0_r1;  // (s0_r1) Slack@-18.2ps rank@g2
+  wire w2;
+  wire [7:0] w3;
+  reg [7:0] s0_r2;  // (s0_r2) Slack@264.6ps rank@g3
+  wire [7:0] w4;
+  reg [7:0] s0_r3;  // (s0_r3) Slack@300.0ps rank@g4
+  wire [7:0] w5;
+  reg [7:0] s0_r4;  // (s0_r4) Slack@161.9ps rank@g2
+  wire w6;
+  wire [7:0] w7;
+  reg [7:0] s0_r5;  // (s0_r5) Slack@117.9ps rank@g2
+  wire [7:0] w8;
+  reg [7:0] s1_r0;  // (s1_r0) Slack@-32.2ps rank@g1
+  wire w9;
+  wire w10;
+  wire [7:0] w11;
+  reg [7:0] s1_r1;  // (s1_r1) Slack@224.5ps rank@g3
+  wire [7:0] w12;
+  reg [7:0] s1_r2;  // (s1_r2) Slack@205.1ps rank@g3
+  wire [7:0] w13;
+  reg [7:0] s1_r3;  // (s1_r3) Slack@260.2ps rank@g3
+  wire [7:0] w14;
+  reg [7:0] s1_r4;  // (s1_r4) Slack@302.2ps rank@g4
+  wire [7:0] w15;
+  reg [7:0] s1_r5;  // (s1_r5) Slack@-51.1ps rank@g2
+  wire w16;
+  wire w17;
+  wire [7:0] w18;
+  reg [7:0] s2_r0;  // (s2_r0) Slack@321.1ps rank@g4
+  wire [7:0] w19;
+  reg [7:0] s2_r1;  // (s2_r1) Slack@-34.9ps rank@g2
+  wire w20;
+  wire [7:0] w21;
+  reg [7:0] s2_r2;  // (s2_r2) Slack@122.8ps rank@g2
+  wire w22;
+  wire w23;
+  wire [7:0] w24;
+  reg [7:0] s2_r3;  // (s2_r3) Slack@-51.1ps rank@g2
+  wire w25;
+  wire [7:0] w26;
+  reg [7:0] s2_r4;  // (s2_r4) Slack@119.5ps rank@g2
+  wire w27;
+  wire [7:0] w28;
+  reg [7:0] s2_r5;  // (s2_r5) Slack@238.3ps rank@g3
+  wire [7:0] w29;
+  reg [7:0] s3_r0;  // (s3_r0) Slack@-55.8ps rank@g1
+  wire [7:0] w30;
+  reg [7:0] s3_r1;  // (s3_r1) Slack@130.5ps rank@g2
+  wire w31;
+  wire [7:0] w32;
+  reg [7:0] s3_r2;  // (s3_r2) Slack@163.4ps rank@g2
+  wire [7:0] w33;
+  reg [7:0] s3_r3;  // (s3_r3) Slack@163.4ps rank@g2
+  wire [7:0] w34;
+  reg [7:0] s3_r4;  // (s3_r4) Slack@161.1ps rank@g2
+  wire [7:0] w35;
+  reg [7:0] s3_r5;  // (s3_r5) Slack@255.2ps rank@g3
+  wire [7:0] w36;
+  wire [7:0] out_data0;
+  wire out_flag;
+
+  assign w0 = ((in_data2[7] ? (in_data0) : (in_data2))) == ((in_data3[3] ? (in_data0) : (in_data3)));
+  assign w1 = ((((((in_data2) | (in_data1))) | (((in_data0) ^ (in_data0))))) | ((w0 ? (((in_data2) & (in_data0))) : (~(((in_data2) & (in_data0)))))));
+  assign w2 = (in_data2) == (in_data1);
+  assign w3 = (in_data1[0] ? ((((w2 ? (in_data2) : (~(in_data2)))) + ((in_data3[6] ? (in_data2) : (in_data0))))) : (in_data1));
+  assign w4 = ~(in_data2);
+  assign w5 = (((in_data2[5] ? (((in_data1) ^ (in_data0))) : (in_data0))) & (in_data2));
+  assign w6 = ((in_data1[4] ? (in_data0) : (in_data3))) == (((in_data1) & (in_data3)));
+  assign w7 = ((in_data0) ^ ((w6 ? (((in_data1) | (in_data1))) : (~(((in_data1) | (in_data1)))))));
+  assign w8 = ((((((in_data3) + (in_data1))) + ((in_data2[2] ? (in_data0) : (in_data0))))) & (((((in_data2) | (in_data3))) | (in_data3))));
+  assign w9 = ((s0_r2[1] ? (((s0_r1) ^ (s0_r3))) : (((s0_r3) & (s0_r0))))) == ((s0_r3[6] ? (s0_r3) : (((s0_r4) + (s0_r2)))));
+  assign w10 = (s0_r3) == (s0_r3);
+  assign w11 = (w9 ? ((s0_r3[6] ? (((s0_r5) + (s0_r4))) : ((w10 ? (s0_r0) : (~(s0_r0)))))) : (~((s0_r3[6] ? (((s0_r5) + (s0_r4))) : ((w10 ? (s0_r0) : (~(s0_r0))))))));
+  assign w12 = ((s0_r3) & ((((s0_r3[0] ? (in_data0) : (s0_r5))) & (in_data0))));
+  assign w13 = ((in_data0) | (((s0_r5) | (((s0_r4) ^ (s0_r3))))));
+  assign w14 = (s0_r3[4] ? (((((s0_r3) & (s0_r3))) & (((s0_r4) & (s0_r4))))) : (s0_r5));
+  assign w15 = ((s0_r5) & (~(s0_r3)));
+  assign w16 = (((s0_r1) & (s0_r5))) == ((s0_r2[1] ? (s0_r2) : (s0_r1)));
+  assign w17 = (s0_r2) == (s0_r3);
+  assign w18 = (((w16 ? ((s0_r2[7] ? (s0_r0) : (in_data0))) : (~((s0_r2[7] ? (s0_r0) : (in_data0)))))) + (((in_data0) & ((w17 ? (s0_r4) : (~(s0_r4)))))));
+  assign w19 = (s1_r1[5] ? (s1_r4) : (((((in_data0) & (in_data0))) & (((s1_r4) ^ (in_data0))))));
+  assign w20 = (((((s1_r0) & (s1_r0))) + (s1_r5))) == (((s1_r3) | (((s1_r2) | (s1_r0)))));
+  assign w21 = (w20 ? (((((s1_r1) & (s1_r1))) & (((s1_r3) | (s1_r5))))) : (~(((((s1_r1) & (s1_r1))) & (((s1_r3) | (s1_r5)))))));
+  assign w22 = (s1_r0) == (s1_r4);
+  assign w23 = (~((w22 ? (s1_r2) : (~(s1_r2))))) == (s1_r2);
+  assign w24 = (w23 ? (((((s1_r1) & (s1_r5))) ^ (((s1_r0) ^ (s1_r4))))) : (~(((((s1_r1) & (s1_r5))) ^ (((s1_r0) ^ (s1_r4)))))));
+  assign w25 = (s1_r0) == (s1_r1);
+  assign w26 = ((~(((s1_r5) | (s1_r3)))) + ((s1_r5[4] ? (((s1_r1) & (s1_r1))) : ((w25 ? (in_data0) : (~(in_data0)))))));
+  assign w27 = (s1_r4) == (s1_r5);
+  assign w28 = (((s1_r2[6] ? (((s1_r1) ^ (s1_r0))) : (((in_data0) ^ (s1_r5))))) & (~((w27 ? (in_data0) : (~(in_data0))))));
+  assign w29 = ((s1_r5) ^ ((s1_r5[3] ? (((s1_r0) ^ (s1_r1))) : ((s1_r5[2] ? (s1_r0) : (s1_r1))))));
+  assign w30 = (((s2_r3[2] ? (s2_r3) : ((s2_r1[2] ? (s2_r1) : (s2_r1))))) ^ ((s2_r2[7] ? (((s2_r5) + (s2_r3))) : (((s2_r0) + (s0_r2))))));
+  assign w31 = (s2_r5) == (s2_r4);
+  assign w32 = ~(((s2_r0) ^ ((w31 ? (s2_r2) : (~(s2_r2))))));
+  assign w33 = ~((s2_r4[6] ? (((s2_r5) | (s0_r2))) : (((s2_r4) ^ (s0_r2)))));
+  assign w34 = (((s2_r1[7] ? (((s2_r5) & (s0_r2))) : (s0_r2))) | (((s2_r4) & (((s2_r1) & (s2_r1))))));
+  assign w35 = ((s2_r4) | (((((s2_r3) ^ (s0_r2))) & (((s2_r1) & (s2_r5))))));
+  assign w36 = ~((((s0_r2[0] ? (s2_r0) : (s2_r5))) ^ ((s2_r3[4] ? (s2_r1) : (s2_r3)))));
+  assign out_data0 = s3_r0;
+  assign out_flag = ctrl_r0 ^ ctrl_r1 ^ ctrl_r2 ^ ctrl_r3;
+
+  always @(posedge clk) begin
+      ctrl_r0 <= (in_ctrl0 ^ in_ctrl0) | (~in_ctrl2 & in_ctrl0);
+      ctrl_r1 <= (in_ctrl3 ^ ctrl_r0) | (~in_ctrl0 & ctrl_r0);
+      ctrl_r2 <= (in_ctrl2 ^ ctrl_r1) | (~in_ctrl2 & ctrl_r1);
+      ctrl_r3 <= (in_ctrl3 ^ ctrl_r2) | (~in_ctrl4 & ctrl_r2);
+      ctrl_r4 <= (in_ctrl2 ^ ctrl_r3) | (~in_ctrl3 & ctrl_r3);
+      ctrl_r5 <= (in_ctrl3 ^ ctrl_r4) | (~in_ctrl4 & ctrl_r4);
+      ctrl_r6 <= (in_ctrl4 ^ ctrl_r5) | (~in_ctrl3 & ctrl_r5);
+      ctrl_r7 <= (in_ctrl1 ^ ctrl_r6) | (~in_ctrl4 & ctrl_r6);
+      ctrl_r8 <= (in_ctrl3 ^ ctrl_r7) | (~in_ctrl0 & ctrl_r7);
+      ctrl_r9 <= (in_ctrl4 ^ ctrl_r8) | (~in_ctrl1 & ctrl_r8);
+      if (ctrl_r2) s0_r0 <= w1;
+      s0_r1 <= w3;
+      if (ctrl_r0) s0_r2 <= w4;
+      if (ctrl_r5) s0_r3 <= w5;
+      if (ctrl_r9) s0_r4 <= w7;
+      if (in_ctrl4) s0_r5 <= w8;
+      if (ctrl_r5) s1_r0 <= w11;
+      if (in_ctrl4) s1_r1 <= w12;
+      s1_r2 <= w13;
+      s1_r3 <= w14;
+      s1_r4 <= w15;
+      s1_r5 <= w18;
+      s2_r0 <= w19;
+      if (in_ctrl1) s2_r1 <= w21;
+      s2_r2 <= w24;
+      s2_r3 <= w26;
+      if (ctrl_r2) s2_r4 <= w28;
+      s2_r5 <= w29;
+      s3_r0 <= w30;
+      s3_r1 <= w32;
+      if (in_ctrl2) s3_r2 <= w33;
+      if (ctrl_r0) s3_r3 <= w34;
+      if (in_ctrl1) s3_r4 <= w35;
+      s3_r5 <= w36;
+  end
+endmodule
