@@ -17,6 +17,7 @@ from repro.core import (
     SignalwiseConfig,
     build_dataset,
     run_optimization_experiment,
+    run_optimization_sweep,
 )
 from repro.hdl.generate import BENCHMARK_SPECS
 from repro.physical import place_and_optimize
@@ -59,6 +60,19 @@ def main() -> None:
     print(
         f"  change: WNS {outcome.wns_change_pct:+.1f}%  TNS {outcome.tns_change_pct:+.1f}%  "
         f"power {outcome.power_change_pct:+.1f}%  area {outcome.area_change_pct:+.1f}%"
+    )
+
+    print("\nRunning a 16-candidate what-if sweep (incremental engine, no re-synthesis)...")
+    estimates = timer.what_if(record, prediction=prediction, k=16)
+    for index, estimate in enumerate(estimates[:4]):
+        print(
+            f"  candidate {index:2d}: projected WNS {estimate.wns:8.1f}  "
+            f"TNS {estimate.tns:9.1f}  ({estimate.n_patches} patches)"
+        )
+    sweep = run_optimization_sweep(record, ranked, k=16, ranking_source="predicted")
+    print(
+        f"  sweep chose candidate {sweep.chosen_index} -> "
+        f"WNS {sweep.wns_change_pct:+.1f}%  TNS {sweep.tns_change_pct:+.1f}%"
     )
 
     print("\nRunning placement + post-placement optimization on both netlists...")

@@ -15,6 +15,10 @@ Public entry points:
   (parallel + cached via :mod:`repro.runtime`),
 * :func:`repro.core.run_optimization_experiment` -- prediction-driven
   ``group_path`` / ``retime`` synthesis optimization,
+* :func:`repro.core.run_optimization_sweep` -- its multi-candidate
+  extension, scored by :mod:`repro.incremental` what-if re-timing,
+* :mod:`repro.incremental` -- dirty-cone incremental STA: patch objects,
+  :class:`~repro.incremental.IncrementalSTA` and the what-if projection,
 * :mod:`repro.runtime` -- the execution engine: process-pool fan-out,
   content-addressed artifact caching, structured runtime reports,
 * :mod:`repro.hdl`, :mod:`repro.bog`, :mod:`repro.synth`, :mod:`repro.sta`,

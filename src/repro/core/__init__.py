@@ -3,6 +3,7 @@
 from repro.core.metrics import (
     DEFAULT_GROUP_FRACTIONS,
     criticality_groups,
+    group_boundaries,
     mape,
     pearson_r,
     r_squared,
@@ -41,9 +42,11 @@ from repro.core.baselines import GNNBaselineConfig, GNNBitwiseBaseline
 from repro.core.annotate import AnnotationConfig, annotate_design, ranking_groups
 from repro.core.optimize import (
     OptimizationOutcome,
+    generate_candidates,
     options_from_ranking,
     ranking_from_labels,
     run_optimization_experiment,
+    run_optimization_sweep,
     summarize_outcomes,
 )
 from repro.core.pipeline import BatchPrediction, RTLTimer, RTLTimerConfig, RTLTimerPrediction
@@ -51,6 +54,7 @@ from repro.core.pipeline import BatchPrediction, RTLTimer, RTLTimerConfig, RTLTi
 __all__ = [
     "DEFAULT_GROUP_FRACTIONS",
     "criticality_groups",
+    "group_boundaries",
     "mape",
     "pearson_r",
     "r_squared",
@@ -87,9 +91,11 @@ __all__ = [
     "annotate_design",
     "ranking_groups",
     "OptimizationOutcome",
+    "generate_candidates",
     "options_from_ranking",
     "ranking_from_labels",
     "run_optimization_experiment",
+    "run_optimization_sweep",
     "summarize_outcomes",
     "BatchPrediction",
     "RTLTimer",

@@ -59,8 +59,12 @@ def annotate_design(
     groups = ranking_groups(ranking_scores)
 
     comments: Dict[str, str] = {}
+    # A signal absent from the ranking falls back to the least-critical group
+    # actually in use (not the group *count*, which would collide with a real
+    # mid-criticality group).
+    fallback_group = max(groups.values(), default=4)
     for signal, slack in signal_slacks.items():
-        group = groups.get(signal, len(set(groups.values())) or 4)
+        group = groups.get(signal, fallback_group)
         comments[signal] = (
             f"({signal}) Slack@{slack:.1f}{config.time_unit} "
             f"rank@{config.group_prefix}{group}"

@@ -61,6 +61,23 @@ def mape(labels: Sequence[float], predictions: Sequence[float], epsilon: float =
     return float(np.mean(np.abs(y[mask] - p[mask]) / np.abs(y[mask])) * 100.0)
 
 
+def group_boundaries(n: int, fractions: Sequence[float] = DEFAULT_GROUP_FRACTIONS) -> List[int]:
+    """Cumulative group end indices for ``n`` ranked items.
+
+    The single source of truth for turning the paper's group fractions into
+    index boundaries — used both by the metric/annotation grouping
+    (:func:`criticality_groups`) and by the synthesis option builder
+    (:func:`repro.core.optimize.options_from_ranking`), so tiny designs get
+    the *same* split everywhere.  Every leading group is non-empty (the most
+    critical item always lands in group 1); duplicate boundaries collapse,
+    so fewer than ``len(fractions) + 1`` groups are possible for small ``n``.
+    """
+    if n <= 0:
+        return []
+    boundaries = [min(max(1, int(round(fraction * n))), n) for fraction in fractions]
+    return sorted(set(boundaries))
+
+
 def criticality_groups(
     values: Sequence[float],
     fractions: Sequence[float] = DEFAULT_GROUP_FRACTIONS,
@@ -70,13 +87,13 @@ def criticality_groups(
 
     ``values`` are arrival times (or predicted scores); by default larger
     values are more critical and go into the earlier groups.  Returns a list
-    of index arrays, one per group (``len(fractions) + 1`` groups).
+    of index arrays, one per group (``len(fractions) + 1`` groups when no
+    boundaries collide).
     """
     array = as_1d_array(values)
     order = np.argsort(-array if descending else array, kind="stable")
     n = len(array)
-    boundaries = [int(round(fraction * n)) for fraction in fractions]
-    boundaries = sorted(set(min(max(b, 0), n) for b in boundaries))
+    boundaries = group_boundaries(n, fractions)
     groups: List[np.ndarray] = []
     start = 0
     for boundary in boundaries + [n]:

@@ -29,10 +29,11 @@ from repro.core.annotate import AnnotationConfig, annotate_design, ranking_group
 from repro.core.bitwise import BitwiseArrivalModel, BitwiseConfig
 from repro.core.dataset import DesignRecord
 from repro.core.metrics import regression_metrics
-from repro.core.optimize import options_from_ranking
+from repro.core.optimize import generate_candidates, options_from_ranking
+from repro.incremental.whatif import evaluate_candidates
 from repro.core.overall import OverallConfig, OverallTimingModel
 from repro.core.signalwise import SignalwiseConfig, SignalwiseModel
-from repro.runtime.report import RuntimeReport
+from repro.runtime.report import RuntimeReport, stage as report_stage
 from repro.synth.optimizer import SynthesisOptions
 
 
@@ -60,8 +61,12 @@ class RTLTimerPrediction:
     runtime_seconds: float
 
     def ranked_signals(self) -> List[str]:
-        """Signals ordered from most critical to least critical."""
-        return sorted(self.signal_ranking, key=lambda s: -self.signal_ranking[s])
+        """Signals ordered from most critical to least critical.
+
+        Score ties break on the signal name, so the ranking is a pure
+        function of the prediction rather than of dict insertion order.
+        """
+        return sorted(self.signal_ranking, key=lambda s: (-self.signal_ranking[s], s))
 
 
 @dataclass
@@ -116,13 +121,13 @@ class RTLTimer:
         bitwise_arrival = self.bitwise.predict(record)
         signal_prediction = self.signalwise.predict(record, bitwise_arrival)
         overall = self.overall.predict(record, bitwise_arrival)
-        return self._assemble_prediction(
-            record,
-            bitwise_arrival,
-            signal_prediction,
-            overall,
-            time.perf_counter() - started,
+        prediction = self._assemble_prediction(
+            record, bitwise_arrival, signal_prediction, overall, 0.0
         )
+        # Stamp the runtime after assembly so runtime_seconds covers every
+        # stage — the same quantity predict_batch reports per design.
+        prediction.runtime_seconds = time.perf_counter() - started
+        return prediction
 
     def predict_batch(
         self,
@@ -166,11 +171,18 @@ class RTLTimer:
                 ]
             with report.stage("inference.assemble"):
                 predictions = [
-                    self._assemble_prediction(
-                        records[i], bitwise[i], signal[i], overall[i], per_design[i]
+                    timed(
+                        i,
+                        lambda i=i: self._assemble_prediction(
+                            records[i], bitwise[i], signal[i], overall[i], 0.0
+                        ),
                     )
                     for i in range(len(records))
                 ]
+                # runtime_seconds covers every stage including assembly, so a
+                # batched prediction reports the same quantity as predict().
+                for i, prediction in enumerate(predictions):
+                    prediction.runtime_seconds = per_design[i]
         report.incr("inference_designs", len(records))
         return BatchPrediction(predictions=predictions, report=report)
 
@@ -218,6 +230,28 @@ class RTLTimer:
         """Prediction-driven ``group_path`` + ``retime`` synthesis options."""
         prediction = prediction or self.predict(record)
         return options_from_ranking(prediction.ranked_signals())
+
+    def what_if(
+        self,
+        record: DesignRecord,
+        candidates: Optional[Sequence[SynthesisOptions]] = None,
+        prediction: Optional[RTLTimerPrediction] = None,
+        k: int = 8,
+    ):
+        """Project candidate option sets with the incremental timing engine.
+
+        ``candidates`` defaults to ``k`` option sets generated around the
+        predicted criticality ranking.  Each candidate is translated into a
+        patch set on the record's baseline synthesis netlist and re-timed
+        incrementally (dirty cone only) — no re-synthesis happens.  Returns
+        one :class:`~repro.incremental.whatif.WhatIfEstimate` per candidate,
+        in candidate order.
+        """
+        if candidates is None:
+            prediction = prediction or self.predict(record)
+            candidates = generate_candidates(prediction.ranked_signals(), k=k)
+        with report_stage("inference.what_if"):
+            return evaluate_candidates(record, candidates)
 
     # -- evaluation ---------------------------------------------------------------------
 

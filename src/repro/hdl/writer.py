@@ -11,6 +11,7 @@ Two jobs live here:
 
 from __future__ import annotations
 
+import re
 from typing import List, Mapping, Optional, Sequence
 
 from repro.hdl.ast_nodes import (
@@ -134,7 +135,7 @@ def annotate_lines(
     for line in source.splitlines():
         target: Optional[str] = None
         stripped = line.strip()
-        if stripped.startswith(("reg", "wire", "input", "output")):
+        if _DECLARATION_RE.match(stripped):
             for name in list(remaining):
                 if _declares(stripped, name):
                     target = name
@@ -146,10 +147,21 @@ def annotate_lines(
     return "\n".join(annotated) + "\n"
 
 
+#: A declaration statement starts with a declaration *keyword token*.  The
+#: word boundary is essential: a plain prefix match would also hit statements
+#: whose first identifier merely starts with a keyword, e.g. the assignment
+#: ``regfile_q <= x;`` or ``wire_sel = y;``.
+_DECLARATION_RE = re.compile(r"^(?:input|output|inout|reg|wire)\b")
+
+
 def _declares(declaration_line: str, name: str) -> bool:
     """True when a declaration statement declares the signal ``name``."""
-    body = declaration_line.split("//")[0].rstrip("; \t")
-    # Strip the range if present, then compare declared identifiers.
+    if not _DECLARATION_RE.match(declaration_line):
+        return False
+    body = declaration_line.split("//")[0]
+    # Keep only the declared names: drop any initializer expression, then
+    # strip the range if present and compare identifier tokens.
+    body = body.split("=")[0].rstrip("; \t")
     tokens = (
         body.replace(",", " ")
         .replace("]", "] ")

@@ -1,0 +1,171 @@
+"""Patch objects describing local edits to a :class:`TimingNetwork`.
+
+A patch is a small, invertible edit with a declared *timing footprint*: the
+vertices whose own delay equation changes (``dirty_delay_vertices``) and the
+vertices whose output load changes (``dirty_load_vertices``).  The
+incremental engine uses the footprint to seed its dirty-cone propagation, so
+a patch must be honest about everything it touches — under-reporting breaks
+the equivalence with a full re-analysis.
+
+Four edit kinds cover the what-if scenarios the optimization sweep needs:
+
+* :class:`SetDerate` — local optimization-effort change on one gate
+  (models the stage rebalancing a ``retime`` directive achieves),
+* :class:`SwapCell` — drive-strength / cell substitution
+  (models ``group_path`` sizing budgets),
+* :class:`AddExtraLoad` — wire-load delta on one net
+  (models placement/budget effects on a net),
+* :class:`RewireFanins` — a small structural rewrite of one vertex's fanin
+  list (models local BOG rewrites; the only *structural* patch).
+
+Every patch supports ``apply`` / ``revert`` on the live network; ``revert``
+restores the exact previous state, which is what makes the engine's
+:meth:`~repro.incremental.engine.IncrementalSTA.what_if` context safe to run
+against a shared baseline netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.liberty import Cell
+from repro.sta.network import TimingNetwork, VertexKind
+
+
+class TimingPatch:
+    """Base interface for local timing-network edits."""
+
+    #: Structural patches change the fanin lists (adjacency / topo caches
+    #: must be rebuilt); value patches only touch per-vertex attributes.
+    structural: bool = False
+
+    def apply(self, network: TimingNetwork) -> None:
+        raise NotImplementedError
+
+    def revert(self, network: TimingNetwork) -> None:
+        raise NotImplementedError
+
+    def dirty_delay_vertices(self, network: TimingNetwork) -> Iterable[int]:
+        """Vertices whose own arrival/slew equation changed."""
+        return ()
+
+    def dirty_load_vertices(self, network: TimingNetwork) -> Iterable[int]:
+        """Vertices whose output load must be recomputed."""
+        return ()
+
+
+@dataclass
+class SetDerate(TimingPatch):
+    """Set the delay derate of one gate (1.0 = nominal, <1.0 = faster)."""
+
+    vertex: int
+    derate: float
+    _previous: Optional[float] = field(default=None, repr=False)
+
+    def apply(self, network: TimingNetwork) -> None:
+        target = network.vertices[self.vertex]
+        self._previous = target.derate
+        target.derate = float(self.derate)
+
+    def revert(self, network: TimingNetwork) -> None:
+        assert self._previous is not None, "revert before apply"
+        network.vertices[self.vertex].derate = self._previous
+        self._previous = None
+
+    def dirty_delay_vertices(self, network: TimingNetwork) -> Iterable[int]:
+        return (self.vertex,)
+
+
+@dataclass
+class SwapCell(TimingPatch):
+    """Replace the cell implementing one vertex (e.g. a drive-strength move).
+
+    The swap changes the vertex's own delay/slew equation *and* the input
+    capacitance it presents to its fanins, so the fanins' loads are part of
+    the footprint.
+    """
+
+    vertex: int
+    cell: Cell
+    _previous: Optional[Cell] = field(default=None, repr=False)
+
+    def apply(self, network: TimingNetwork) -> None:
+        target = network.vertices[self.vertex]
+        if target.cell is None:
+            raise ValueError(f"vertex {self.vertex} has no cell to swap")
+        self._previous = target.cell
+        target.cell = self.cell
+
+    def revert(self, network: TimingNetwork) -> None:
+        assert self._previous is not None, "revert before apply"
+        network.vertices[self.vertex].cell = self._previous
+        self._previous = None
+
+    def dirty_delay_vertices(self, network: TimingNetwork) -> Iterable[int]:
+        return (self.vertex,)
+
+    def dirty_load_vertices(self, network: TimingNetwork) -> Iterable[int]:
+        return tuple(network.vertices[self.vertex].fanins)
+
+
+@dataclass
+class AddExtraLoad(TimingPatch):
+    """Add ``delta`` fF of wire load to one vertex's output net."""
+
+    vertex: int
+    delta: float
+    _previous: Optional[float] = field(default=None, repr=False)
+
+    def apply(self, network: TimingNetwork) -> None:
+        target = network.vertices[self.vertex]
+        self._previous = target.extra_load
+        # Revert restores the saved value instead of subtracting the delta:
+        # stacked float additions do not cancel exactly.
+        target.extra_load = self._previous + float(self.delta)
+
+    def revert(self, network: TimingNetwork) -> None:
+        assert self._previous is not None, "revert before apply"
+        network.vertices[self.vertex].extra_load = self._previous
+        self._previous = None
+
+    def dirty_delay_vertices(self, network: TimingNetwork) -> Iterable[int]:
+        return (self.vertex,)
+
+    def dirty_load_vertices(self, network: TimingNetwork) -> Iterable[int]:
+        return (self.vertex,)
+
+
+@dataclass
+class RewireFanins(TimingPatch):
+    """Replace one vertex's fanin list (a small local BOG rewrite).
+
+    The caller is responsible for keeping the graph acyclic; the engine's
+    topological-order rebuild raises on a cycle, which aborts the patch set.
+    """
+
+    vertex: int
+    fanins: List[int]
+    structural = True
+    _previous: Optional[List[int]] = field(default=None, repr=False)
+
+    def apply(self, network: TimingNetwork) -> None:
+        target = network.vertices[self.vertex]
+        if target.kind is not VertexKind.GATE:
+            raise ValueError(f"vertex {self.vertex} is not a gate; cannot rewire fanins")
+        self._previous = list(target.fanins)
+        target.fanins = [int(f) for f in self.fanins]
+        network.invalidate()
+
+    def revert(self, network: TimingNetwork) -> None:
+        assert self._previous is not None, "revert before apply"
+        network.vertices[self.vertex].fanins = self._previous
+        self._previous = None
+        network.invalidate()
+
+    def dirty_delay_vertices(self, network: TimingNetwork) -> Iterable[int]:
+        return (self.vertex,)
+
+    def dirty_load_vertices(self, network: TimingNetwork) -> Iterable[int]:
+        previous = self._previous or []
+        return tuple(set(previous) | set(network.vertices[self.vertex].fanins))

@@ -36,6 +36,12 @@ DEFAULT_BENCH_PATH = "BENCH_runtime.json"
 #: Version tag of the emitted JSON schema.
 REPORT_SCHEMA = "repro-bench-runtime/1"
 
+#: Stage names shared between the incremental benchmark harness and the
+#: derived ``incremental_whatif_speedup`` metric — one constant, two users,
+#: so a rename cannot silently drop the metric from the CI trend.
+WHATIF_SWEEP_STAGE = "incremental.whatif_sweep"
+FULL_RESYNTHESIS_STAGE = "incremental.full_resynthesis"
+
 
 @dataclass
 class RuntimeReport:
@@ -106,6 +112,14 @@ class RuntimeReport:
         misses = self.counters.get("cache_misses", 0)
         if hits + misses:
             derived["cache_hit_rate"] = round(hits / (hits + misses), 4)
+        whatif = self.stages.get(WHATIF_SWEEP_STAGE, 0.0)
+        full = self.stages.get(FULL_RESYNTHESIS_STAGE, 0.0)
+        if whatif > 0.0 and full > 0.0:
+            derived["incremental_whatif_speedup"] = round(full / whatif, 2)
+        runs = self.counters.get("incremental_runs", 0)
+        recomputed = self.counters.get("incremental_recomputed_vertices", 0)
+        if runs:
+            derived["incremental_vertices_per_run"] = round(recomputed / runs, 1)
         return {
             "schema": REPORT_SCHEMA,
             "generated_at": time.time(),

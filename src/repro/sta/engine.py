@@ -11,7 +11,7 @@ the quantities PrimeTime provides in the paper's flow.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -115,6 +115,59 @@ def compute_loads(network: TimingNetwork) -> np.ndarray:
     return loads
 
 
+def propagate_vertex(vertex, clock: ClockConstraint, arrivals, slews, load) -> tuple:
+    """The per-vertex NLDM update rule: (arrival, slew) given fanin state.
+
+    This is the single source of truth for the timing recurrence; both the
+    full :func:`analyze` sweep and the dirty-cone re-propagation of
+    :mod:`repro.incremental` call it, so the two paths agree bit for bit on
+    every vertex they both visit.
+    """
+    if vertex.kind is VertexKind.CONST:
+        return 0.0, clock.input_slew
+    if vertex.kind is VertexKind.INPUT:
+        return clock.input_delay, clock.input_slew
+    if vertex.kind is VertexKind.REGISTER:
+        cell = vertex.cell
+        clk_to_q = cell.clk_to_q if cell is not None else 0.0
+        resistance = cell.resistance if cell is not None else 0.0
+        arrival = clk_to_q + resistance * load
+        slew = cell.output_slew(load) if cell is not None else clock.input_slew
+        return arrival, slew
+    # Combinational gate.
+    cell = vertex.cell
+    assert cell is not None
+    best = 0.0
+    for fanin in vertex.fanins:
+        candidate = arrivals[fanin] + vertex.derate * cell.delay(slews[fanin], load)
+        if candidate > best:
+            best = candidate
+    return best, cell.output_slew(load)
+
+
+def endpoint_timing(endpoint, clock: ClockConstraint, arrivals) -> EndpointTiming:
+    """Slack of one endpoint under the given arrival state."""
+    arrival = float(arrivals[endpoint.driver])
+    required = clock.required_time(endpoint.setup_time)
+    return EndpointTiming(
+        name=endpoint.name,
+        signal=endpoint.signal,
+        bit=endpoint.bit,
+        kind=endpoint.kind,
+        arrival=arrival,
+        slack=required - arrival,
+        driver=endpoint.driver,
+    )
+
+
+def summarize_slacks(endpoints: Sequence[EndpointTiming]) -> tuple:
+    """(WNS, TNS) over a list of endpoint timings."""
+    negative = [e.slack for e in endpoints if e.slack < 0.0]
+    wns = float(min(negative)) if negative else 0.0
+    tns = float(sum(negative)) if negative else 0.0
+    return wns, tns
+
+
 def analyze(
     network: TimingNetwork,
     clock: ClockConstraint,
@@ -129,52 +182,14 @@ def analyze(
 
     for vertex_id in network.topological_order():
         vertex = network.vertices[vertex_id]
-        if vertex.kind is VertexKind.CONST:
-            arrivals[vertex.id] = 0.0
-            slews[vertex.id] = clock.input_slew
-        elif vertex.kind is VertexKind.INPUT:
-            arrivals[vertex.id] = clock.input_delay
-            slews[vertex.id] = clock.input_slew
-        elif vertex.kind is VertexKind.REGISTER:
-            cell = vertex.cell
-            clk_to_q = cell.clk_to_q if cell is not None else 0.0
-            resistance = cell.resistance if cell is not None else 0.0
-            arrivals[vertex.id] = clk_to_q + resistance * loads[vertex.id]
-            slews[vertex.id] = (
-                cell.output_slew(loads[vertex.id]) if cell is not None else clock.input_slew
-            )
-        else:  # combinational gate
-            cell = vertex.cell
-            assert cell is not None
-            load = loads[vertex.id]
-            best = 0.0
-            for fanin in vertex.fanins:
-                candidate = arrivals[fanin] + vertex.derate * cell.delay(slews[fanin], load)
-                if candidate > best:
-                    best = candidate
-            arrivals[vertex.id] = best
-            slews[vertex.id] = cell.output_slew(load)
-
-    endpoints: List[EndpointTiming] = []
-    for endpoint in network.endpoints:
-        arrival = float(arrivals[endpoint.driver])
-        required = clock.required_time(endpoint.setup_time)
-        slack = required - arrival
-        endpoints.append(
-            EndpointTiming(
-                name=endpoint.name,
-                signal=endpoint.signal,
-                bit=endpoint.bit,
-                kind=endpoint.kind,
-                arrival=arrival,
-                slack=slack,
-                driver=endpoint.driver,
-            )
+        arrivals[vertex_id], slews[vertex_id] = propagate_vertex(
+            vertex, clock, arrivals, slews, loads[vertex_id]
         )
 
-    negative = [e.slack for e in endpoints if e.slack < 0.0]
-    wns = float(min(negative)) if negative else 0.0
-    tns = float(sum(negative)) if negative else 0.0
+    endpoints: List[EndpointTiming] = [
+        endpoint_timing(endpoint, clock, arrivals) for endpoint in network.endpoints
+    ]
+    wns, tns = summarize_slacks(endpoints)
 
     return STAReport(
         design=network.name,

@@ -102,7 +102,7 @@ def optimize(
     if options.uses_grouping:
         for _ in range(options.group_effort_passes):
             for group in options.path_groups or []:
-                targets = _group_endpoints(report, group.signals, options.critical_fraction)
+                targets = group_endpoints(report, group.signals, options.critical_fraction)
                 report = _sizing_pass(netlist, clock, report, targets, trace)
     for _ in range(options.effort_passes):
         targets = _worst_endpoints(report, options.critical_fraction)
@@ -129,8 +129,13 @@ def _worst_endpoints(report: STAReport, fraction: float) -> List[str]:
     return [e.name for e in ordered[:count]]
 
 
-def _group_endpoints(report: STAReport, signals: Sequence[str], fraction: float) -> List[str]:
-    """Worst endpoints restricted to the signals of one path group."""
+def group_endpoints(report: STAReport, signals: Sequence[str], fraction: float) -> List[str]:
+    """Worst endpoints restricted to the signals of one path group.
+
+    Shared with the incremental what-if projection
+    (:mod:`repro.incremental.whatif`), which must target exactly the
+    endpoints a real ``group_path`` run would size.
+    """
     wanted = set(signals)
     members = [e for e in report.endpoints if e.signal in wanted]
     members.sort(key=lambda e: e.slack)

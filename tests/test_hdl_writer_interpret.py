@@ -44,6 +44,60 @@ class TestWriter:
         assert len(lines) == 1
         assert "sum" in lines[0]
 
+    def test_annotate_skips_keyword_prefixed_statements(self):
+        """Regression: ``regfile_q <= x;`` starts with "reg" but is not a
+        declaration — the slack comment must land on the declaration only."""
+        source = "\n".join(
+            [
+                "module m (clk, x);",
+                "  input clk;",
+                "  input x;",
+                "  reg [3:0] regfile_q;",
+                "  wire_sel_t;",  # pathological: "wire"-prefixed statement
+                "  always @(posedge clk) begin",
+                "    regfile_q <= x;",
+                "  end",
+                "endmodule",
+            ]
+        )
+        annotated = annotate_lines(source, {"regfile_q": "MARK"})
+        commented = [l for l in annotated.splitlines() if "MARK" in l]
+        assert len(commented) == 1
+        assert commented[0].strip().startswith("reg [3:0] regfile_q;")
+        assert "regfile_q <= x;" in annotated  # assignment line unchanged
+
+    def test_annotate_statement_only_signal_gets_no_comment(self):
+        """A name appearing only in a ``reg``-prefixed assignment must not be
+        annotated at all (previously the comment landed on the statement)."""
+        source = "\n".join(
+            [
+                "module m (clk, x);",
+                "  input clk;",
+                "  always @(posedge clk) begin",
+                "    regbank <= x;",
+                "  end",
+                "endmodule",
+            ]
+        )
+        annotated = annotate_lines(source, {"regbank": "MARK"})
+        assert "MARK" not in annotated
+
+    def test_declaration_initializer_rhs_is_not_a_declaration(self):
+        """``wire y = acc & x;`` declares y, not the identifiers on its RHS."""
+        source = "\n".join(
+            [
+                "module m (x, y);",
+                "  input x;",
+                "  wire acc;",
+                "  wire y = acc & x;",
+                "endmodule",
+            ]
+        )
+        annotated = annotate_lines(source, {"acc": "MARK"})
+        commented = [l for l in annotated.splitlines() if "MARK" in l]
+        assert len(commented) == 1
+        assert commented[0].strip().startswith("wire acc;")
+
 
 class TestInterpreter:
     @pytest.fixture(scope="class")

@@ -1,0 +1,240 @@
+"""Incremental what-if timing engine: equivalence and safety properties.
+
+The load-bearing property: after any supported patch sequence, the
+dirty-cone re-propagation of :class:`IncrementalSTA` must match a full
+``sta.engine.analyze`` re-run of the patched network to 1e-9 on arrivals,
+slews, loads and endpoint slacks (in practice they agree bit for bit,
+because both paths share :func:`repro.sta.engine.propagate_vertex`).
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+
+import numpy as np
+import pytest
+
+from repro.incremental import (
+    AddExtraLoad,
+    IncrementalSTA,
+    RewireFanins,
+    SetDerate,
+    SwapCell,
+)
+from repro.incremental.whatif import evaluate_candidates, patches_for_options
+from repro.core.optimize import generate_candidates, ranking_from_labels
+from repro.sta.constraints import ClockConstraint
+from repro.sta.engine import analyze
+from repro.sta.network import VertexKind
+
+TOLERANCE = 1e-9
+
+
+def _random_patches(network, rng, count):
+    """A random mix of every supported patch kind, guaranteed acyclic."""
+    gates = [v.id for v in network.vertices if v.kind is VertexKind.GATE]
+    position = {v: i for i, v in enumerate(network.topological_order())}
+    patches = []
+    while len(patches) < count:
+        kind = rng.choice(("derate", "swap", "load", "rewire"))
+        vertex = rng.choice(gates)
+        if kind == "derate":
+            patches.append(SetDerate(vertex, rng.uniform(0.4, 1.6)))
+        elif kind == "swap":
+            cell = network.vertices[vertex].cell
+            alternative = network.library.upsize(cell) or network.library.downsize(cell)
+            if alternative is not None:
+                patches.append(SwapCell(vertex, alternative))
+        elif kind == "load":
+            patches.append(AddExtraLoad(vertex, rng.uniform(0.1, 8.0)))
+        else:
+            fanins = network.vertices[vertex].fanins
+            upstream = [u for u in position if position[u] < position[vertex] and u not in fanins]
+            if fanins and upstream:
+                rewired = list(fanins)
+                rewired[rng.randrange(len(rewired))] = rng.choice(upstream)
+                patches.append(RewireFanins(vertex, rewired))
+    return patches
+
+
+def _network_state(network):
+    """Full observable state of a netlist, for revert checks."""
+    return (
+        [(v.cell.name if v.cell else None, v.derate, v.extra_load, tuple(v.fanins))
+         for v in network.vertices],
+        [(e.name, e.driver) for e in network.endpoints],
+    )
+
+
+def _assert_matches_full(incremental, network, clock):
+    full = analyze(network, clock)
+    np.testing.assert_allclose(incremental.arrivals, full.arrivals, atol=TOLERANCE, rtol=0)
+    np.testing.assert_allclose(incremental.slews, full.slews, atol=TOLERANCE, rtol=0)
+    np.testing.assert_allclose(incremental.loads, full.loads, atol=TOLERANCE, rtol=0)
+    assert len(incremental.endpoints) == len(full.endpoints)
+    for inc_ep, full_ep in zip(incremental.endpoints, full.endpoints):
+        assert inc_ep.name == full_ep.name
+        assert abs(inc_ep.slack - full_ep.slack) <= TOLERANCE
+        assert abs(inc_ep.arrival - full_ep.arrival) <= TOLERANCE
+    assert abs(incremental.wns - full.wns) <= TOLERANCE
+    assert abs(incremental.tns - full.tns) <= TOLERANCE
+
+
+class TestWhatIfEquivalence:
+    def test_random_patches_match_full_reanalysis(self, tiny_records):
+        """Property test: 1-12 random patches, what-if vs from-scratch STA."""
+        record = tiny_records[0]
+        network = record.synthesis.netlist
+        engine = IncrementalSTA(network, record.clock, baseline=record.synthesis.report)
+        rng = random.Random(1234)
+        for _ in range(25):
+            patches = _random_patches(network, rng, rng.randint(1, 12))
+            before = _network_state(network)
+            with engine.what_if(patches) as report:
+                _assert_matches_full(report, network, record.clock)
+            assert _network_state(network) == before  # patches fully reverted
+
+    def test_pseudo_bog_network_patches_match_full(self, tiny_records):
+        """The engine serves BOG pseudo netlists, not just mapped netlists:
+        derate/load/rewire patches on a pseudo-STA network re-time exactly."""
+        from repro.sta.constraints import ClockConstraint as Clock
+
+        record = tiny_records[0]
+        network = record.pseudo_networks["sog"]
+        clock = Clock(period=1000.0)
+        engine = IncrementalSTA(network, clock, baseline=record.pseudo_reports["sog"])
+        rng = random.Random(99)
+        gates = [v.id for v in network.vertices if v.kind is VertexKind.GATE]
+        position = {v: i for i, v in enumerate(network.topological_order())}
+        for _ in range(10):
+            patches = []
+            for _ in range(rng.randint(1, 6)):
+                vertex = rng.choice(gates)
+                kind = rng.choice(("derate", "load", "rewire"))
+                if kind == "derate":
+                    patches.append(SetDerate(vertex, rng.uniform(0.4, 1.6)))
+                elif kind == "load":
+                    patches.append(AddExtraLoad(vertex, rng.uniform(0.1, 8.0)))
+                else:
+                    fanins = network.vertices[vertex].fanins
+                    upstream = [
+                        u for u in position
+                        if position[u] < position[vertex] and u not in fanins
+                    ]
+                    if fanins and upstream:
+                        rewired = list(fanins)
+                        rewired[rng.randrange(len(rewired))] = rng.choice(upstream)
+                        patches.append(RewireFanins(vertex, rewired))
+            if not patches:
+                continue
+            with engine.what_if(patches) as report:
+                _assert_matches_full(report, network, clock)
+
+    def test_what_if_keeps_committed_report(self, tiny_records):
+        record = tiny_records[1]
+        network = record.synthesis.netlist
+        engine = IncrementalSTA(network, record.clock, baseline=record.synthesis.report)
+        committed = engine.report()
+        gate = next(v.id for v in network.vertices if v.kind is VertexKind.GATE)
+        with engine.what_if([SetDerate(gate, 0.5)]):
+            pass
+        assert engine.report() is committed
+        _assert_matches_full(engine.report(), network, record.clock)
+
+    def test_sequential_apply_matches_full(self, tiny_records):
+        """apply() commits patches; state stays consistent run over run."""
+        record = tiny_records[0]
+        network = copy.deepcopy(record.synthesis.netlist)
+        engine = IncrementalSTA(network, record.clock)
+        rng = random.Random(7)
+        for _ in range(10):
+            report = engine.apply(_random_patches(network, rng, rng.randint(1, 6)))
+            assert report is engine.report()
+            _assert_matches_full(report, network, record.clock)
+
+    def test_structural_rewire_matches_full(self, tiny_records):
+        record = tiny_records[2]
+        network = record.synthesis.netlist
+        engine = IncrementalSTA(network, record.clock, baseline=record.synthesis.report)
+        position = {v: i for i, v in enumerate(network.topological_order())}
+        gate = max(
+            (v for v in network.vertices if v.kind is VertexKind.GATE and len(v.fanins) >= 2),
+            key=lambda v: position[v.id],
+        )
+        upstream = min(position, key=position.get)
+        rewired = [upstream] + list(gate.fanins[1:])
+        before = _network_state(network)
+        with engine.what_if([RewireFanins(gate.id, rewired)]) as report:
+            _assert_matches_full(report, network, record.clock)
+        assert _network_state(network) == before
+
+
+class TestEngineBehaviour:
+    def test_dirty_cone_is_local(self, tiny_records):
+        """A single late-cone patch must not re-propagate the whole graph."""
+        record = tiny_records[0]
+        network = record.synthesis.netlist
+        engine = IncrementalSTA(network, record.clock, baseline=record.synthesis.report)
+        position = {v: i for i, v in enumerate(network.topological_order())}
+        late_gate = max(
+            (v.id for v in network.vertices if network.vertices[v.id].kind is VertexKind.GATE),
+            key=lambda v: position[v],
+        )
+        with engine.what_if([SetDerate(late_gate, 0.5)]):
+            pass
+        stats = engine.last_stats
+        assert stats is not None
+        assert 0 < stats.n_recomputed < len(network.vertices)
+        assert stats.cone_fraction < 1.0
+
+    def test_stale_baseline_is_recomputed(self, tiny_records):
+        record = tiny_records[0]
+        network = record.synthesis.netlist
+        other_clock = ClockConstraint(period=record.clock.period * 2.0)
+        engine = IncrementalSTA(network, other_clock, baseline=record.synthesis.report)
+        _assert_matches_full(engine.report(), network, other_clock)
+
+    def test_size_change_is_rejected(self, tiny_records):
+        record = tiny_records[1]
+        network = copy.deepcopy(record.synthesis.netlist)
+        engine = IncrementalSTA(network, record.clock)
+        network.add_vertex(VertexKind.INPUT, name="late_arrival")
+        gate = next(v.id for v in network.vertices if v.kind is VertexKind.GATE)
+        with pytest.raises(ValueError, match="refresh"):
+            engine.apply([SetDerate(gate, 0.9)])
+
+    def test_swap_cell_requires_cell(self, tiny_records):
+        record = tiny_records[0]
+        network = record.synthesis.netlist
+        vertex = next(v for v in network.vertices if v.cell is None)
+        any_cell = next(v.cell for v in network.vertices if v.cell is not None)
+        with pytest.raises(ValueError, match="no cell"):
+            SwapCell(vertex.id, any_cell).apply(network)
+
+
+class TestWhatIfProjection:
+    def test_candidate_patches_are_nonempty_and_revertible(self, tiny_records):
+        record = tiny_records[0]
+        ranked = ranking_from_labels(record)
+        candidates = generate_candidates(ranked, k=4)
+        netlist = record.synthesis.netlist
+        report = record.synthesis.report
+        before = _network_state(netlist)
+        patch_sets = [patches_for_options(netlist, report, c) for c in candidates]
+        assert all(patch_sets), "every candidate should project at least one patch"
+        assert _network_state(netlist) == before  # projection itself is read-only
+
+    def test_evaluate_candidates_is_pure(self, tiny_records):
+        """Evaluation never mutates the record and is run-to-run stable."""
+        record = tiny_records[1]
+        ranked = ranking_from_labels(record)
+        candidates = generate_candidates(ranked, k=6)
+        before = _network_state(record.synthesis.netlist)
+        first = evaluate_candidates(record, candidates)
+        second = evaluate_candidates(record, candidates)
+        assert _network_state(record.synthesis.netlist) == before
+        assert [(e.wns, e.tns, e.n_patches) for e in first] == [
+            (e.wns, e.tns, e.n_patches) for e in second
+        ]
+        assert len(first) == len(candidates)

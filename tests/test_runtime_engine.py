@@ -268,3 +268,53 @@ def test_predict_batch_matches_predict(tiny_records):
     # Indexing and iteration behave like the prediction list.
     assert batch[0] is batch.predictions[0]
     assert [p.design for p in batch] == [r.name for r in test]
+
+
+def test_predict_batch_runtime_includes_assembly(tiny_records, monkeypatch):
+    """Regression: runtime_seconds must cover every stage, assembly included,
+    so batched predictions report the same quantity as predict()."""
+    import time as time_mod
+
+    train, test = tiny_records[:3], tiny_records[3:4]
+    timer = RTLTimer(TINY_TIMER_CONFIG).fit(train)
+
+    original = RTLTimer._assemble_prediction
+
+    def slow_assemble(self, *args, **kwargs):
+        time_mod.sleep(0.05)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(RTLTimer, "_assemble_prediction", slow_assemble)
+    batch = timer.predict_batch(test)
+    assert batch[0].runtime_seconds >= 0.05
+    # predict() reports the same quantity (assembly included) as the batch.
+    assert timer.predict(test[0]).runtime_seconds >= 0.05
+
+
+def test_ranked_signals_breaks_ties_deterministically():
+    """Regression: equal scores must rank by name, not dict insertion order."""
+    from repro.core.pipeline import RTLTimerPrediction
+
+    ranking = {"zeta": 1.0, "alpha": 1.0, "mid": 2.0, "beta": 1.0}
+    prediction = RTLTimerPrediction(
+        design="d",
+        bitwise_arrival={},
+        signal_arrival={},
+        signal_ranking=ranking,
+        signal_slack={},
+        rank_group={},
+        overall={},
+        runtime_seconds=0.0,
+    )
+    assert prediction.ranked_signals() == ["mid", "alpha", "beta", "zeta"]
+    reversed_insertion = RTLTimerPrediction(
+        design="d",
+        bitwise_arrival={},
+        signal_arrival={},
+        signal_ranking=dict(reversed(list(ranking.items()))),
+        signal_slack={},
+        rank_group={},
+        overall={},
+        runtime_seconds=0.0,
+    )
+    assert reversed_insertion.ranked_signals() == prediction.ranked_signals()
