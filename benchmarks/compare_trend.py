@@ -1,0 +1,94 @@
+"""Compare two ``BENCH_runtime.json`` reports and fail on stage regression.
+
+Used by the CI perf-smoke job::
+
+    python benchmarks/compare_trend.py previous/BENCH_runtime.json BENCH_runtime.json \
+        --stage benchmarks.cross_validation --max-regression 0.20
+
+Exit status is non-zero only when the guarded stage exists in *both* reports
+and its wall time regressed by more than ``--max-regression``.  A missing
+previous report (first run on a branch, expired artifact) or a stage absent
+from either side is reported and tolerated, so the guard cannot brick CI on
+cold starts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_stages(path: Path) -> dict:
+    with path.open() as handle:
+        report = json.load(handle)
+    stages = report.get("stages", {})
+    if not isinstance(stages, dict):
+        raise SystemExit(f"{path}: malformed report (no stages mapping)")
+    return stages
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous", type=Path, help="baseline BENCH_runtime.json")
+    parser.add_argument("current", type=Path, help="freshly generated BENCH_runtime.json")
+    parser.add_argument(
+        "--stage",
+        default="benchmarks.cross_validation",
+        help="stage whose wall time is guarded (default: benchmarks.cross_validation)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="tolerated fractional slowdown before failing (default: 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.current.exists():
+        print(f"current report {args.current} does not exist", file=sys.stderr)
+        return 2
+    current = load_stages(args.current)
+
+    if not args.previous.exists():
+        print(f"no previous report at {args.previous}; nothing to compare (ok)")
+        return 0
+    previous = load_stages(args.previous)
+
+    shared = sorted(set(previous) & set(current))
+    if shared:
+        print(f"{'stage':<40} {'previous':>10} {'current':>10} {'delta':>8}")
+        for name in shared:
+            before, after = previous[name], current[name]
+            if before > 0:
+                delta = f"{(after / before - 1.0) * 100.0:>+7.1f}%"
+            else:
+                delta = f"{'n/a':>8}"
+            print(f"{name:<40} {before:>9.2f}s {after:>9.2f}s {delta}")
+
+    if args.stage not in previous or args.stage not in current:
+        print(f"stage {args.stage!r} missing from one report; skipping the guard (ok)")
+        return 0
+
+    before, after = previous[args.stage], current[args.stage]
+    if before <= 0:
+        print(f"previous {args.stage} time is {before}; skipping the guard (ok)")
+        return 0
+    regression = after / before - 1.0
+    if regression > args.max_regression:
+        print(
+            f"FAIL: {args.stage} regressed {regression * 100.0:+.1f}% "
+            f"({before:.2f}s -> {after:.2f}s, tolerance {args.max_regression * 100.0:.0f}%)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: {args.stage} {before:.2f}s -> {after:.2f}s "
+        f"({regression * 100.0:+.1f}%, tolerance {args.max_regression * 100.0:.0f}%)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,10 +37,12 @@ from repro.core import (
     RTLTimerConfig,
     SignalwiseConfig,
     build_dataset,
+    feature_cache_enabled,
 )
 from repro.core.dataset import DesignRecord
 from repro.hdl.generate import BENCHMARK_SPECS
 from repro.ml.preprocessing import group_kfold
+from repro.ml.tree import resolve_max_bins
 from repro.runtime import RuntimeReport, activate, resolve_jobs, write_bench_report
 
 #: CI benchmark-trend mode: smaller models, fewer folds, same pipeline shape.
@@ -89,10 +91,26 @@ def runtime_report():
             "fast_mode": FAST_MODE,
             "n_folds": N_FOLDS,
             "jobs": resolve_jobs(len(BENCHMARK_SPECS)),
+            "gbm_splitter": FAST_CONFIG.bitwise.splitter,
+            "gbm_max_bins": resolve_max_bins(FAST_CONFIG.bitwise.max_bins),
+            "feature_cache": feature_cache_enabled(),
         }
     )
     yield report
     write_bench_report(report)
+
+
+@pytest.fixture(autouse=True)
+def activated_report(runtime_report):
+    """Collect module-level stage instrumentation (``ml.*``, ``features.*``)
+    into the session report for every benchmark test, not only the CV fixture,
+    so the CI benchmark-trend job sees the model-stack stages too.
+
+    Every model-invoking benchmark runs a fixed ``pedantic(rounds=1)``
+    workload (the auto-calibrated ``benchmark()`` loops wrap pure metric
+    assembly), so these stage totals stay comparable across runs."""
+    with activate(runtime_report):
+        yield runtime_report
 
 
 @pytest.fixture(scope="session")
@@ -106,6 +124,9 @@ def cv_results(dataset_records, runtime_report) -> CVResults:
     """Cross-design CV predictions for every design in the suite."""
     names = [record.name for record in dataset_records]
     results = CVResults(records=dataset_records)
+    extract_calls_before = runtime_report.stage_calls.get(
+        "features.extract_path_dataset", 0
+    )
 
     with activate(runtime_report), runtime_report.stage("benchmarks.cross_validation"):
         for fold, (train_idx, test_idx) in enumerate(
@@ -122,6 +143,22 @@ def cv_results(dataset_records, runtime_report) -> CVResults:
                 results.signal_ranking[record.name] = prediction.signal_ranking
                 results.overall[record.name] = prediction.overall
                 results.fold_of[record.name] = fold
+
+    if feature_cache_enabled():
+        # The path-feature cache must collapse per-fold re-extraction: across
+        # all folds there are at most two distinct extractions per (design,
+        # variant) — the endpoint-subsampled training extraction and the
+        # full-sampling prediction extraction — plus one unsampled reference
+        # per design, regardless of the number of folds.
+        extract_calls = (
+            runtime_report.stage_calls.get("features.extract_path_dataset", 0)
+            - extract_calls_before
+        )
+        n_variants = len(FAST_CONFIG.bitwise.variants)
+        assert extract_calls <= len(dataset_records) * (2 * n_variants + 1), (
+            f"feature cache failed to collapse CV re-extraction: {extract_calls} calls"
+        )
+        assert runtime_report.stage_calls.get("features.cache_hit", 0) > 0
     return results
 
 

@@ -35,6 +35,13 @@ from repro.core.features import (
     design_feature_vector,
     extract_path_dataset,
 )
+from repro.core.feature_cache import (
+    PathFeatureCache,
+    path_feature_cache,
+    feature_cache_enabled,
+    path_dataset_key,
+    reset_feature_cache,
+)
 from repro.core.bitwise import BitwiseArrivalModel, BitwiseConfig
 from repro.core.signalwise import SignalwiseConfig, SignalwiseModel
 from repro.core.overall import OverallConfig, OverallTimingModel
@@ -79,6 +86,11 @@ __all__ = [
     "combine_path_datasets",
     "design_feature_vector",
     "extract_path_dataset",
+    "PathFeatureCache",
+    "path_feature_cache",
+    "feature_cache_enabled",
+    "path_dataset_key",
+    "reset_feature_cache",
     "BitwiseArrivalModel",
     "BitwiseConfig",
     "SignalwiseConfig",

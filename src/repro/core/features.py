@@ -91,9 +91,24 @@ def extract_path_dataset(
     sampling: Optional[SamplingConfig] = None,
     endpoint_names: Optional[Sequence[str]] = None,
 ) -> PathDataset:
-    """Extract the path-level dataset of one design for one BOG variant."""
-    with _stage("features.extract_path_dataset"):
-        return _extract_path_dataset(record, variant, sampling, endpoint_names)
+    """Extract the path-level dataset of one design for one BOG variant.
+
+    Extraction is deterministic in its arguments, so results are served from
+    the fingerprint-keyed :mod:`~repro.core.feature_cache` when possible —
+    cross-validation folds, fit and predict all share one extraction per
+    (record, variant, sampling, endpoint subset).  The
+    ``features.extract_path_dataset`` stage therefore counts *actual*
+    extractions; hits show up as ``features.cache_hit``.
+    """
+    from repro.core.feature_cache import cached_extract_path_dataset
+
+    sampling = sampling or SamplingConfig()
+
+    def extractor() -> PathDataset:
+        with _stage("features.extract_path_dataset"):
+            return _extract_path_dataset(record, variant, sampling, endpoint_names)
+
+    return cached_extract_path_dataset(record, variant, sampling, endpoint_names, extractor)
 
 
 def _extract_path_dataset(

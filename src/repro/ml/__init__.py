@@ -9,7 +9,15 @@ from repro.ml.preprocessing import (
     leave_one_group_out,
     train_test_split,
 )
-from repro.ml.tree import DecisionTreeRegressor, NewtonTreeRegressor
+from repro.ml.tree import (
+    BINS_ENV_VAR,
+    BinnedMatrix,
+    DecisionTreeRegressor,
+    FlatTree,
+    NewtonTreeRegressor,
+    bin_feature_matrix,
+    resolve_max_bins,
+)
 from repro.ml.gbm import (
     GradientBoostingRegressor,
     HuberObjective,
@@ -37,8 +45,13 @@ __all__ = [
     "group_kfold",
     "leave_one_group_out",
     "train_test_split",
+    "BINS_ENV_VAR",
+    "BinnedMatrix",
     "DecisionTreeRegressor",
+    "FlatTree",
     "NewtonTreeRegressor",
+    "bin_feature_matrix",
+    "resolve_max_bins",
     "GradientBoostingRegressor",
     "HuberObjective",
     "SquaredErrorObjective",

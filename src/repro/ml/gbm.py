@@ -16,7 +16,8 @@ from typing import Optional, Protocol, Tuple
 import numpy as np
 
 from repro.ml.base import Estimator, as_1d_array, as_2d_array
-from repro.ml.tree import NewtonTreeRegressor
+from repro.ml.tree import NewtonTreeRegressor, bin_feature_matrix
+from repro.runtime.report import stage as _stage
 
 
 class Objective(Protocol):
@@ -86,6 +87,8 @@ class GradientBoostingRegressor(Estimator):
         reg_lambda: float = 1.0,
         objective: Optional[Objective] = None,
         early_stopping_rounds: Optional[int] = None,
+        splitter: str = "hist",
+        max_bins: Optional[int] = None,
         seed: int = 0,
     ):
         self.n_estimators = n_estimators
@@ -97,16 +100,26 @@ class GradientBoostingRegressor(Estimator):
         self.reg_lambda = reg_lambda
         self.objective = objective or SquaredErrorObjective()
         self.early_stopping_rounds = early_stopping_rounds
+        self.splitter = splitter
+        self.max_bins = max_bins
         self.seed = seed
 
     # -- training --------------------------------------------------------------
 
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostingRegressor":
+        with _stage(f"ml.fit_{self.splitter}"):
+            return self._fit(features, targets)
+
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostingRegressor":
         X = as_2d_array(features)
         y = as_1d_array(targets)
         if len(X) != len(y):
             raise ValueError("features and targets must have the same number of rows")
         rng = np.random.default_rng(self.seed)
+
+        # Bin every feature column once per fit; each boosting round reuses
+        # the codes (subset by the subsample mask) instead of re-binning.
+        binned = bin_feature_matrix(X, self.max_bins) if self.splitter == "hist" else None
 
         self.base_score_ = self.objective.initial_prediction(y)
         predictions = np.full(len(y), self.base_score_)
@@ -130,10 +143,21 @@ class GradientBoostingRegressor(Estimator):
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self.colsample if self.colsample < 1.0 else None,
                 reg_lambda=self.reg_lambda,
+                splitter=self.splitter,
+                max_bins=self.max_bins,
                 seed=int(rng.integers(2**31)),
             )
-            tree.fit_gradients(X[mask], grad[mask], hess[mask])
-            update = tree.predict(X)
+            round_binned = None
+            full_batch = bool(mask.all())
+            if binned is not None:
+                round_binned = binned if full_batch else binned.take(mask)
+            tree.fit_gradients(X[mask], grad[mask], hess[mask], binned=round_binned)
+            if round_binned is not None and full_batch:
+                # The histogram fit already assigned every training row to
+                # its leaf; reuse those values instead of re-routing X.
+                update = tree.training_predictions_
+            else:
+                update = tree.predict(X)
             predictions = predictions + self.learning_rate * update
             self.trees_.append(tree)
 
@@ -152,9 +176,10 @@ class GradientBoostingRegressor(Estimator):
     def predict(self, features: np.ndarray) -> np.ndarray:
         self._check_fitted("trees_")
         X = as_2d_array(features)
-        predictions = np.full(len(X), self.base_score_)
-        for tree in self.trees_:
-            predictions += self.learning_rate * tree.predict(X)
+        with _stage("ml.predict_flat"):
+            predictions = np.full(len(X), self.base_score_)
+            for tree in self.trees_:
+                predictions += self.learning_rate * tree.predict(X)
         return predictions
 
     def staged_predict(self, features: np.ndarray) -> np.ndarray:

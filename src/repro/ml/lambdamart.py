@@ -15,7 +15,8 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ml.base import Estimator, as_1d_array, as_2d_array
-from repro.ml.tree import NewtonTreeRegressor
+from repro.ml.tree import NewtonTreeRegressor, bin_feature_matrix
+from repro.runtime.report import stage as _stage
 
 
 def dcg_at_k(relevance_in_rank_order: np.ndarray, k: Optional[int] = None) -> float:
@@ -53,6 +54,8 @@ class LambdaMARTRanker(Estimator):
         min_samples_leaf: int = 2,
         reg_lambda: float = 1.0,
         max_pairs_per_query: int = 5000,
+        splitter: str = "hist",
+        max_bins: Optional[int] = None,
         seed: int = 0,
     ):
         self.n_estimators = n_estimators
@@ -61,6 +64,8 @@ class LambdaMARTRanker(Estimator):
         self.min_samples_leaf = min_samples_leaf
         self.reg_lambda = reg_lambda
         self.max_pairs_per_query = max_pairs_per_query
+        self.splitter = splitter
+        self.max_bins = max_bins
         self.seed = seed
 
     # -- training ---------------------------------------------------------------
@@ -93,27 +98,38 @@ class LambdaMARTRanker(Estimator):
         self.trees_: List[NewtonTreeRegressor] = []
         self.train_ndcg_: List[float] = []
 
-        for _ in range(self.n_estimators):
-            grad, hess = self._lambda_gradients(scores, rel, rng)
-            tree = NewtonTreeRegressor(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                reg_lambda=self.reg_lambda,
-                seed=int(rng.integers(2**31)),
-            )
-            tree.fit_gradients(X, grad, hess)
-            scores = scores + self.learning_rate * tree.predict(X)
-            self.trees_.append(tree)
-            self.train_ndcg_.append(self._mean_ndcg(scores, rel))
+        # One binning pass shared by every boosting round (no row subsampling
+        # here, so the codes can be reused verbatim).
+        binned = bin_feature_matrix(X, self.max_bins) if self.splitter == "hist" else None
+
+        with _stage(f"ml.fit_{self.splitter}"):
+            for _ in range(self.n_estimators):
+                grad, hess = self._lambda_gradients(scores, rel, rng)
+                tree = NewtonTreeRegressor(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    reg_lambda=self.reg_lambda,
+                    splitter=self.splitter,
+                    max_bins=self.max_bins,
+                    seed=int(rng.integers(2**31)),
+                )
+                tree.fit_gradients(X, grad, hess, binned=binned)
+                update = (
+                    tree.training_predictions_ if binned is not None else tree.predict(X)
+                )
+                scores = scores + self.learning_rate * update
+                self.trees_.append(tree)
+                self.train_ndcg_.append(self._mean_ndcg(scores, rel))
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Ranking scores (higher = predicted more critical)."""
         self._check_fitted("trees_")
         X = as_2d_array(features)
-        scores = np.zeros(len(X))
-        for tree in self.trees_:
-            scores += self.learning_rate * tree.predict(X)
+        with _stage("ml.predict_flat"):
+            scores = np.zeros(len(X))
+            for tree in self.trees_:
+                scores += self.learning_rate * tree.predict(X)
         return scores
 
     def rank(self, features: np.ndarray) -> np.ndarray:
@@ -154,24 +170,28 @@ class LambdaMARTRanker(Estimator):
             discounts = 1.0 / np.log2(positions + 2.0)
             gains = 2.0**query_rel - 1.0
 
-            pairs = [
-                (i, j)
-                for i in range(len(rows))
-                for j in range(len(rows))
-                if query_rel[i] > query_rel[j]
-            ]
-            if len(pairs) > self.max_pairs_per_query:
-                chosen = rng.choice(len(pairs), size=self.max_pairs_per_query, replace=False)
-                pairs = [pairs[int(c)] for c in chosen]
+            # All (better, worse) pairs at once; nonzero yields them in the
+            # same row-major order the seed's nested loop produced, so the
+            # subsampling RNG draws stay identical.
+            better, worse = np.nonzero(query_rel[:, None] > query_rel[None, :])
+            if len(better) == 0:
+                continue
+            if len(better) > self.max_pairs_per_query:
+                chosen = rng.choice(len(better), size=self.max_pairs_per_query, replace=False)
+                better, worse = better[chosen], worse[chosen]
 
-            for i, j in pairs:
-                delta_ndcg = abs(gains[i] - gains[j]) * abs(discounts[i] - discounts[j]) / ideal_dcg
-                score_diff = query_scores[i] - query_scores[j]
-                rho = 1.0 / (1.0 + np.exp(np.clip(score_diff, -35.0, 35.0)))
-                weight = max(delta_ndcg, 1e-6)
-                grad[rows[i]] -= rho * weight
-                grad[rows[j]] += rho * weight
-                curvature = max(rho * (1.0 - rho) * weight, 1e-6)
-                hess[rows[i]] += curvature
-                hess[rows[j]] += curvature
+            delta_ndcg = (
+                np.abs(gains[better] - gains[worse])
+                * np.abs(discounts[better] - discounts[worse])
+                / ideal_dcg
+            )
+            score_diff = np.clip(query_scores[better] - query_scores[worse], -35.0, 35.0)
+            rho = 1.0 / (1.0 + np.exp(score_diff))
+            weight = np.maximum(delta_ndcg, 1e-6)
+            push = rho * weight
+            curvature = np.maximum(rho * (1.0 - rho) * weight, 1e-6)
+            np.subtract.at(grad, rows[better], push)
+            np.add.at(grad, rows[worse], push)
+            np.add.at(hess, rows[better], curvature)
+            np.add.at(hess, rows[worse], curvature)
         return grad, hess

@@ -45,18 +45,29 @@ def group_max(values: np.ndarray, groups: np.ndarray, n_groups: Optional[int] = 
     return out
 
 
+def _argmax_from_maxima(
+    values: np.ndarray, groups: np.ndarray, maxima: np.ndarray
+) -> np.ndarray:
+    """First row achieving each group's (precomputed) maximum; -1 when none."""
+    best_index = np.full(len(maxima), -1, dtype=int)
+    winners = np.nonzero(values >= maxima[groups])[0]
+    # Fancy assignment keeps the *last* write per group; feed rows reversed so
+    # the first winner in row order is what sticks.
+    best_index[groups[winners[::-1]]] = winners[::-1]
+    best_index[np.isneginf(maxima)] = -1
+    return best_index
+
+
 def group_argmax(values: np.ndarray, groups: np.ndarray, n_groups: Optional[int] = None) -> np.ndarray:
-    """Row index achieving the maximum within each group (first winner)."""
+    """Row index achieving the maximum within each group (first winner).
+
+    Ties break on the first row in input order; groups with no rows (or whose
+    maximum never exceeds the ``-inf`` sentinel) report ``-1``.
+    """
     values = as_1d_array(values)
     groups = _check_groups(groups, len(values))
-    count = int(groups.max()) + 1 if n_groups is None else n_groups
-    best_value = np.full(count, -np.inf)
-    best_index = np.full(count, -1, dtype=int)
-    for row, (value, group) in enumerate(zip(values, groups)):
-        if value > best_value[group]:
-            best_value[group] = value
-            best_index[group] = row
-    return best_index
+    count = int(groups.max(initial=-1)) + 1 if n_groups is None else n_groups
+    return _argmax_from_maxima(values, groups, group_max(values, groups, count))
 
 
 def grouped_max_loss_and_gradient(
@@ -71,7 +82,7 @@ def grouped_max_loss_and_gradient(
     n_groups = len(group_targets)
 
     maxima = group_max(predictions, groups, n_groups)
-    winners = group_argmax(predictions, groups, n_groups)
+    winners = _argmax_from_maxima(predictions, groups, maxima)
     residual = maxima - group_targets
     loss = float(0.5 * np.mean(residual**2))
 
@@ -143,8 +154,9 @@ class GroupedMaxSquaredError:
 
     def gradients(self, predictions: np.ndarray, targets: np.ndarray):
         n_groups = len(self.group_targets)
+        predictions = as_1d_array(predictions)
         maxima = group_max(predictions, self.groups, n_groups)
-        winners = group_argmax(predictions, self.groups, n_groups)
+        winners = _argmax_from_maxima(predictions, self.groups, maxima)
         residual = maxima - self.group_targets
 
         grad = np.zeros_like(predictions)

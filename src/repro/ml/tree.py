@@ -1,19 +1,155 @@
 """Regression trees (CART) used standalone and inside gradient boosting.
 
-The splitter is an exact, variance-reduction splitter over sorted feature
-columns with the usual regularization knobs (max depth, minimum samples per
-leaf, feature subsampling).  Leaf values can be plain means (standalone use)
-or Newton steps from per-sample gradients/hessians (XGBoost-style boosting).
+Two splitters are available, selectable with ``splitter=``:
+
+* ``"hist"`` (default) — LightGBM-style histogram split finding: every
+  feature column is bucketed once per ``fit`` into at most 256 bins
+  (``REPRO_GBM_BINS`` overrides the budget), per-bin statistics are
+  accumulated with ``np.bincount`` and child histograms are derived from the
+  parent with the histogram-subtraction trick, so each node costs one pass
+  over its rows instead of one argsort per feature.
+* ``"exact"`` — the original exact variance-reduction splitter over sorted
+  feature columns, kept as the reference for equivalence testing.
+
+When a column has at most ``max_bins`` distinct values the histogram cut
+points coincide with the exact splitter's candidate thresholds, so both
+splitters see identical split gains.
+
+Fitted trees are additionally *flattened* into parallel numpy arrays
+(feature / threshold / left / right / value) and predicted level-by-level
+over whole matrices (:class:`FlatTree`), replacing per-row Python recursion.
+Leaf values can be plain means (standalone use) or Newton steps from
+per-sample gradients/hessians (XGBoost-style boosting).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.ml.base import Estimator, as_1d_array, as_2d_array
+
+#: Environment variable overriding the histogram bin budget per feature.
+BINS_ENV_VAR = "REPRO_GBM_BINS"
+
+#: Hard ceiling on the bin budget — bin codes must fit in uint8.
+MAX_BINS = 256
+
+#: The two split-finding strategies.
+SPLITTERS = ("hist", "exact")
+
+
+def resolve_max_bins(max_bins: Optional[int] = None) -> int:
+    """Effective bin budget: explicit argument, else ``REPRO_GBM_BINS``, else 256."""
+    if max_bins is None:
+        try:
+            max_bins = int(os.environ.get(BINS_ENV_VAR, str(MAX_BINS)))
+        except ValueError:
+            max_bins = MAX_BINS
+    return min(max(int(max_bins), 2), MAX_BINS)
+
+
+# ---------------------------------------------------------------------------
+# Feature binning
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BinnedMatrix:
+    """Per-fit uint8 bin codes of a feature matrix plus the cut points.
+
+    ``codes[i, f]`` is the bin of row ``i`` in feature ``f``; ``cuts[f]`` holds
+    the increasing split thresholds between consecutive bins, so splitting
+    after bin ``b`` corresponds to the predicate ``x <= cuts[f][b]`` and a
+    feature with ``k`` cut points has ``k + 1`` bins.
+    """
+
+    codes: np.ndarray  # (n_rows, n_features) uint8
+    cuts: List[np.ndarray]  # per feature, len(cuts[f]) == n_bins_f - 1
+
+    @property
+    def n_rows(self) -> int:
+        return self.codes.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.codes.shape[1]
+
+    @property
+    def n_bins(self) -> int:
+        """Bin-axis size of the histogram arrays (max bins over features)."""
+        return max((len(c) + 1 for c in self.cuts), default=1)
+
+    def flat_codes(self) -> np.ndarray:
+        """Codes with per-feature bin offsets added (int64), memoized.
+
+        Computed lazily once per matrix so boosting loops that share one
+        ``BinnedMatrix`` across rounds do not redo the O(rows x features)
+        widening per tree.
+        """
+        flat = self.__dict__.get("_flat_codes")
+        if flat is None:
+            offsets = np.arange(self.n_features, dtype=np.int64) * self.n_bins
+            flat = self.codes.astype(np.int64) + offsets
+            self.__dict__["_flat_codes"] = flat
+        return flat
+
+    def cut_valid(self) -> np.ndarray:
+        """Boolean (features, bins) mask of existing cut positions, memoized."""
+        valid = self.__dict__.get("_cut_valid")
+        if valid is None:
+            lengths = np.array([len(cut) for cut in self.cuts])
+            valid = np.arange(self.n_bins) < lengths[:, None]
+            self.__dict__["_cut_valid"] = valid
+        return valid
+
+    def take(self, rows: np.ndarray) -> "BinnedMatrix":
+        """Row-subset view sharing the cut points (for row-subsampled fits)."""
+        subset = BinnedMatrix(codes=self.codes[rows], cuts=self.cuts)
+        flat = self.__dict__.get("_flat_codes")
+        if flat is not None:
+            subset.__dict__["_flat_codes"] = flat[rows]
+        valid = self.__dict__.get("_cut_valid")
+        if valid is not None:
+            subset.__dict__["_cut_valid"] = valid
+        return subset
+
+
+def bin_feature_matrix(features: np.ndarray, max_bins: Optional[int] = None) -> BinnedMatrix:
+    """Bucket every feature column into at most ``max_bins`` ordered bins.
+
+    Columns with few distinct values get one bin per value with cut points at
+    the midpoints between consecutive values — exactly the exact splitter's
+    candidate thresholds.  Wider columns are quantized over their distinct
+    values, evenly in distinct-value space.
+    """
+    X = as_2d_array(features)
+    budget = resolve_max_bins(max_bins)
+    codes = np.empty(X.shape, dtype=np.uint8)
+    cuts: List[np.ndarray] = []
+    for feature in range(X.shape[1]):
+        column = X[:, feature]
+        uniques = np.unique(column)
+        if len(uniques) <= budget:
+            cut = 0.5 * (uniques[:-1] + uniques[1:])
+        else:
+            boundaries = np.linspace(0, len(uniques) - 1, budget + 1).round().astype(int)
+            boundaries = np.unique(boundaries)[1:-1]
+            cut = 0.5 * (uniques[boundaries - 1] + uniques[boundaries])
+        # Adjacent floats can collapse a midpoint onto a value; deduplicate so
+        # the cut points stay strictly increasing (empty bins are harmless).
+        cut = np.unique(cut)
+        codes[:, feature] = np.searchsorted(cut, column, side="left")
+        cuts.append(cut)
+    return BinnedMatrix(codes=codes, cuts=cuts)
+
+
+# ---------------------------------------------------------------------------
+# Flattened trees
+# ---------------------------------------------------------------------------
 
 
 @dataclass
@@ -31,8 +167,142 @@ class _Node:
         return self.feature is None
 
 
+@dataclass
+class FlatTree:
+    """A fitted tree flattened into parallel arrays for vectorized predict.
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf; interior nodes route rows
+    with ``x[feature] <= threshold`` to ``left`` and the rest to ``right``.
+    """
+
+    feature: np.ndarray  # (n_nodes,) int32, -1 at leaves
+    threshold: np.ndarray  # (n_nodes,) float64
+    left: np.ndarray  # (n_nodes,) int32
+    right: np.ndarray  # (n_nodes,) int32
+    value: np.ndarray  # (n_nodes,) float64
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.value)
+
+    @classmethod
+    def from_node(cls, root: _Node) -> "FlatTree":
+        order: List[_Node] = []
+        index_of = {}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            index_of[id(node)] = len(order)
+            order.append(node)
+            if not node.is_leaf:
+                stack.append(node.right)
+                stack.append(node.left)
+        n = len(order)
+        feature = np.full(n, -1, dtype=np.int32)
+        threshold = np.zeros(n)
+        left = np.full(n, -1, dtype=np.int32)
+        right = np.full(n, -1, dtype=np.int32)
+        value = np.empty(n)
+        for index, node in enumerate(order):
+            value[index] = node.value
+            if not node.is_leaf:
+                feature[index] = node.feature
+                threshold[index] = node.threshold
+                left[index] = index_of[id(node.left)]
+                right[index] = index_of[id(node.right)]
+        return cls(feature=feature, threshold=threshold, left=left, right=right, value=value)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Route all rows level-by-level; one numpy pass per tree level."""
+        X = as_2d_array(features)
+        node = np.zeros(len(X), dtype=np.int32)
+        while True:
+            split_feature = self.feature[node]
+            active = np.nonzero(split_feature >= 0)[0]
+            if active.size == 0:
+                break
+            current = node[active]
+            go_left = X[active, split_feature[active]] <= self.threshold[current]
+            node[active] = np.where(go_left, self.left[current], self.right[current])
+        return self.value[node]
+
+
+# ---------------------------------------------------------------------------
+# Histogram split finding
+# ---------------------------------------------------------------------------
+
+
+class _HistogramContext:
+    """Per-fit state of the histogram splitter.
+
+    The split gain for both tree flavours has the common form
+    ``num^2 / (den + lam)``: the variance splitter uses ``num = w*y`` and
+    ``den = w`` (with a denominator floor), the Newton splitter ``num = g``
+    and ``den = h`` with the L2 regularizer as ``lam``.
+    """
+
+    def __init__(
+        self,
+        binned: BinnedMatrix,
+        num: np.ndarray,
+        den: np.ndarray,
+        lam: float,
+        floor: float,
+    ):
+        self.binned = binned
+        self.num = num
+        self.den = den
+        self.lam = lam
+        self.floor = floor
+        self._bins = binned.n_bins
+        self._size = binned.n_features * self._bins
+        # Both memoized on the binned matrix, so boosting rounds sharing one
+        # BinnedMatrix pay for them once per fit, not once per tree.
+        self._flat_codes = binned.flat_codes()
+        self.cut_valid = binned.cut_valid()
+
+    def split_score(self, num, den):
+        denominator = den + self.lam
+        if self.floor > 0.0:
+            denominator = np.maximum(denominator, self.floor)
+        return num * num / denominator
+
+    def histograms(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-bin (num, den, count) sums for the given rows, one bincount each."""
+        flat = self._flat_codes[rows].ravel()
+        reps = self.binned.n_features
+        shape = (reps, self._bins)
+        count = np.bincount(flat, minlength=self._size).reshape(shape)
+        num = np.bincount(
+            flat, weights=np.repeat(self.num[rows], reps), minlength=self._size
+        ).reshape(shape)
+        den = np.bincount(
+            flat, weights=np.repeat(self.den[rows], reps), minlength=self._size
+        ).reshape(shape)
+        return num, den, count
+
+    def partition(self, rows: np.ndarray, hist, feature: int, cut_index: int):
+        """Split rows at a cut; the bigger child's histogram comes by subtraction."""
+        mask = self.binned.codes[rows, feature] <= cut_index
+        left_rows = rows[mask]
+        right_rows = rows[~mask]
+        if len(left_rows) <= len(right_rows):
+            left_hist = self.histograms(left_rows)
+            right_hist = tuple(parent - child for parent, child in zip(hist, left_hist))
+        else:
+            right_hist = self.histograms(right_rows)
+            left_hist = tuple(parent - child for parent, child in zip(hist, right_hist))
+        return left_rows, right_rows, left_hist, right_hist
+
+
 class DecisionTreeRegressor(Estimator):
-    """CART regression tree with exact variance-reduction splits."""
+    """CART regression tree with histogram (default) or exact splits.
+
+    A histogram fit additionally exposes ``training_predictions_`` — the leaf
+    value of every training row, assigned during growth — so boosting loops
+    can skip re-routing the training matrix after each round (bit-identical
+    to ``predict`` on the training data by construction).
+    """
 
     def __init__(
         self,
@@ -41,6 +311,8 @@ class DecisionTreeRegressor(Estimator):
         min_samples_leaf: int = 3,
         max_features: Optional[float] = None,
         min_impurity_decrease: float = 1e-9,
+        splitter: str = "hist",
+        max_bins: Optional[int] = None,
         seed: int = 0,
     ):
         self.max_depth = max_depth
@@ -48,6 +320,8 @@ class DecisionTreeRegressor(Estimator):
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.min_impurity_decrease = min_impurity_decrease
+        self.splitter = splitter
+        self.max_bins = max_bins
         self.seed = seed
 
     # -- public ---------------------------------------------------------------
@@ -57,6 +331,7 @@ class DecisionTreeRegressor(Estimator):
         features: np.ndarray,
         targets: np.ndarray,
         sample_weight: Optional[np.ndarray] = None,
+        binned: Optional[BinnedMatrix] = None,
     ) -> "DecisionTreeRegressor":
         X = as_2d_array(features)
         y = as_1d_array(targets)
@@ -69,10 +344,26 @@ class DecisionTreeRegressor(Estimator):
         )
         self._rng_ = np.random.default_rng(self.seed)
         self.n_features_ = X.shape[1]
-        self.root_ = self._build(X, y, weights, depth=0)
+        if self.splitter == "hist":
+            binned = self._check_binned(X, binned)
+            context = _HistogramContext(binned, num=weights * y, den=weights, lam=0.0, floor=1e-12)
+            rows = np.arange(len(y))
+            self._training_pred_ = np.empty(len(y))
+            self.root_ = self._grow_hist(context, y, weights, rows, context.histograms(rows), 0)
+            self.training_predictions_ = self._training_pred_
+        elif self.splitter == "exact":
+            self.root_ = self._build(X, y, weights, depth=0)
+        else:
+            raise ValueError(f"splitter must be one of {SPLITTERS}, got {self.splitter!r}")
+        self.flat_ = FlatTree.from_node(self.root_)
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted("flat_")
+        return self.flat_.predict(features)
+
+    def predict_recursive(self, features: np.ndarray) -> np.ndarray:
+        """Reference per-row recursive predict (equivalence testing only)."""
         self._check_fitted("root_")
         X = as_2d_array(features)
         out = np.empty(len(X))
@@ -104,6 +395,13 @@ class DecisionTreeRegressor(Estimator):
 
     # -- internals --------------------------------------------------------------
 
+    def _check_binned(self, X: np.ndarray, binned: Optional[BinnedMatrix]) -> BinnedMatrix:
+        if binned is None:
+            return bin_feature_matrix(X, self.max_bins)
+        if binned.codes.shape != X.shape:
+            raise ValueError("pre-binned matrix does not match the feature matrix shape")
+        return binned
+
     def _predict_row(self, row: np.ndarray) -> float:
         node = self.root_
         while not node.is_leaf:
@@ -115,6 +413,91 @@ class DecisionTreeRegressor(Estimator):
         if total <= 0:
             return float(y.mean()) if len(y) else 0.0
         return float(np.dot(y, weights) / total)
+
+    def _candidate_features(self) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(self.n_features_)
+        count = max(1, int(round(self.max_features * self.n_features_)))
+        return self._rng_.choice(self.n_features_, size=count, replace=False)
+
+    # -- histogram splitter ------------------------------------------------------
+
+    def _grow_hist(
+        self,
+        context: _HistogramContext,
+        y: np.ndarray,
+        weights: np.ndarray,
+        rows: np.ndarray,
+        hist,
+        depth: int,
+    ) -> _Node:
+        node_y = y[rows]
+        value = self._leaf_value(node_y, weights[rows])
+        if (
+            depth >= self.max_depth
+            or len(rows) < self.min_samples_split
+            or np.all(node_y == node_y[0])
+        ):
+            self._training_pred_[rows] = value
+            return _Node(value=value)
+        split = self._best_hist_split(context, hist)
+        if split is None:
+            self._training_pred_[rows] = value
+            return _Node(value=value)
+        feature, cut_index, threshold = split
+        left_rows, right_rows, left_hist, right_hist = context.partition(
+            rows, hist, feature, cut_index
+        )
+        left = self._grow_hist(context, y, weights, left_rows, left_hist, depth + 1)
+        right = self._grow_hist(context, y, weights, right_rows, right_hist, depth + 1)
+        return _Node(value=value, feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_hist_split(
+        self, context: _HistogramContext, hist
+    ) -> Optional[Tuple[int, int, float]]:
+        """Best (feature, cut index, threshold) from the node's histograms.
+
+        All candidate features are scored in one vectorized pass over the
+        (features, bins) histogram arrays; tie-breaking matches the exact
+        splitter (first feature in candidate order, first cut position).
+        """
+        num_h, den_h, cnt_h = hist
+        candidates = self._candidate_features()
+        min_leaf = max(self.min_samples_leaf, 1)
+
+        left_num = np.cumsum(num_h[candidates], axis=1)
+        left_den = np.cumsum(den_h[candidates], axis=1)
+        left_cnt = np.cumsum(cnt_h[candidates], axis=1)
+        total_num = left_num[:, -1]
+        total_den = left_den[:, -1]
+        total_cnt = left_cnt[:, -1]
+
+        valid = (
+            context.cut_valid[candidates]
+            & (left_cnt >= min_leaf)
+            & (total_cnt[:, None] - left_cnt >= min_leaf)
+        )
+        if not valid.any():
+            return None
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            score = context.split_score(left_num, left_den) + context.split_score(
+                total_num[:, None] - left_num, total_den[:, None] - left_den
+            )
+            gain = np.where(
+                valid, score - context.split_score(total_num, total_den)[:, None], -np.inf
+            )
+
+        best_cut = np.argmax(gain, axis=1)
+        per_feature = np.take_along_axis(gain, best_cut[:, None], axis=1)[:, 0]
+        position = int(np.argmax(per_feature))
+        if not per_feature[position] > self.min_impurity_decrease:
+            return None
+        feature = int(candidates[position])
+        cut_index = int(best_cut[position])
+        return feature, cut_index, float(context.binned.cuts[feature][cut_index])
+
+    # -- exact splitter ----------------------------------------------------------
 
     def _build(self, X: np.ndarray, y: np.ndarray, weights: np.ndarray, depth: int) -> _Node:
         value = self._leaf_value(y, weights)
@@ -133,12 +516,6 @@ class DecisionTreeRegressor(Estimator):
         left = self._build(X[mask], y[mask], weights[mask], depth + 1)
         right = self._build(X[~mask], y[~mask], weights[~mask], depth + 1)
         return _Node(value=value, feature=feature, threshold=threshold, left=left, right=right)
-
-    def _candidate_features(self) -> np.ndarray:
-        if self.max_features is None:
-            return np.arange(self.n_features_)
-        count = max(1, int(round(self.max_features * self.n_features_)))
-        return self._rng_.choice(self.n_features_, size=count, replace=False)
 
     def _best_split(
         self, X: np.ndarray, y: np.ndarray, weights: np.ndarray
@@ -211,6 +588,8 @@ class NewtonTreeRegressor(DecisionTreeRegressor):
         max_features: Optional[float] = None,
         reg_lambda: float = 1.0,
         min_gain: float = 1e-9,
+        splitter: str = "hist",
+        max_bins: Optional[int] = None,
         seed: int = 0,
     ):
         super().__init__(
@@ -219,12 +598,18 @@ class NewtonTreeRegressor(DecisionTreeRegressor):
             min_samples_leaf=min_samples_leaf,
             max_features=max_features,
             min_impurity_decrease=min_gain,
+            splitter=splitter,
+            max_bins=max_bins,
             seed=seed,
         )
         self.reg_lambda = reg_lambda
 
     def fit_gradients(
-        self, features: np.ndarray, gradients: np.ndarray, hessians: np.ndarray
+        self,
+        features: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+        binned: Optional[BinnedMatrix] = None,
     ) -> "NewtonTreeRegressor":
         """Fit the tree from per-sample gradients and hessians."""
         X = as_2d_array(features)
@@ -234,20 +619,60 @@ class NewtonTreeRegressor(DecisionTreeRegressor):
             raise ValueError("features, gradients and hessians must align")
         self._rng_ = np.random.default_rng(self.seed)
         self.n_features_ = X.shape[1]
-        self.root_ = self._build_newton(X, grad, hess, depth=0)
+        if self.splitter == "hist":
+            binned = self._check_binned(X, binned)
+            context = _HistogramContext(
+                binned, num=grad, den=hess, lam=self.reg_lambda, floor=0.0
+            )
+            rows = np.arange(len(grad))
+            self._training_pred_ = np.empty(len(grad))
+            self.root_ = self._grow_hist_newton(
+                context, grad, hess, rows, context.histograms(rows), 0
+            )
+            self.training_predictions_ = self._training_pred_
+        elif self.splitter == "exact":
+            self.root_ = self._build_newton(X, grad, hess, depth=0)
+        else:
+            raise ValueError(f"splitter must be one of {SPLITTERS}, got {self.splitter!r}")
+        self.flat_ = FlatTree.from_node(self.root_)
         return self
 
-    def fit(self, features, targets, sample_weight=None):  # type: ignore[override]
+    def fit(self, features, targets, sample_weight=None, binned=None):  # type: ignore[override]
         """Plain regression fit: equivalent to one Newton step on squared loss."""
         y = as_1d_array(targets)
         gradients = -y
         hessians = np.ones_like(y)
-        return self.fit_gradients(features, gradients, hessians)
+        return self.fit_gradients(features, gradients, hessians, binned=binned)
 
     # -- internals --------------------------------------------------------------
 
     def _newton_value(self, grad: np.ndarray, hess: np.ndarray) -> float:
         return float(-grad.sum() / (hess.sum() + self.reg_lambda))
+
+    def _grow_hist_newton(
+        self,
+        context: _HistogramContext,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        rows: np.ndarray,
+        hist,
+        depth: int,
+    ) -> _Node:
+        value = self._newton_value(grad[rows], hess[rows])
+        if depth >= self.max_depth or len(rows) < self.min_samples_split:
+            self._training_pred_[rows] = value
+            return _Node(value=value)
+        split = self._best_hist_split(context, hist)
+        if split is None:
+            self._training_pred_[rows] = value
+            return _Node(value=value)
+        feature, cut_index, threshold = split
+        left_rows, right_rows, left_hist, right_hist = context.partition(
+            rows, hist, feature, cut_index
+        )
+        left = self._grow_hist_newton(context, grad, hess, left_rows, left_hist, depth + 1)
+        right = self._grow_hist_newton(context, grad, hess, right_rows, right_hist, depth + 1)
+        return _Node(value=value, feature=feature, threshold=threshold, left=left, right=right)
 
     def _build_newton(
         self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray, depth: int

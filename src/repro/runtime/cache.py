@@ -170,8 +170,10 @@ def record_fingerprint(record: Any) -> str:
     """
     synthesis = dataclasses.replace(record.synthesis, runtime_seconds=0.0)
     normalized = dataclasses.replace(record, synthesis=synthesis)
-    canonical = pickle.loads(pickle.dumps(normalized, protocol=PICKLE_PROTOCOL))
-    return hashlib.sha256(pickle.dumps(canonical, protocol=PICKLE_PROTOCOL)).hexdigest()
+    with gc_paused():
+        canonical = pickle.loads(pickle.dumps(normalized, protocol=PICKLE_PROTOCOL))
+        blob = pickle.dumps(canonical, protocol=PICKLE_PROTOCOL)
+    return hashlib.sha256(blob).hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -189,11 +191,23 @@ class CacheStats:
 
 
 class ArtifactCache:
-    """Pickle-valued key/value store with atomic writes and hit/miss stats."""
+    """Pickle-valued key/value store with atomic writes and hit/miss stats.
 
-    def __init__(self, directory: Optional[os.PathLike] = None, enabled: Optional[bool] = None):
+    ``counter_prefix`` names the runtime-report counters this instance
+    increments (``<prefix>_hits`` / ``<prefix>_misses`` / ...), so secondary
+    caches layered on this store (e.g. the path-feature cache) report their
+    traffic separately from the DesignRecord artifact cache.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        enabled: Optional[bool] = None,
+        counter_prefix: str = "cache",
+    ):
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.enabled = cache_enabled() if enabled is None else bool(enabled)
+        self.counter_prefix = counter_prefix
         self.stats = CacheStats()
 
     def path_for(self, key: str) -> Path:
@@ -218,7 +232,7 @@ class ArtifactCache:
             self._miss()
             return default
         except Exception:
-            report_mod.incr("cache_corrupt")
+            report_mod.incr(f"{self.counter_prefix}_corrupt")
             try:
                 path.unlink()
             except OSError:
@@ -226,7 +240,7 @@ class ArtifactCache:
             self._miss()
             return default
         self.stats.hits += 1
-        report_mod.incr("cache_hits")
+        report_mod.incr(f"{self.counter_prefix}_hits")
         return value
 
     def put(self, key: str, value: Any) -> bool:
@@ -257,7 +271,7 @@ class ArtifactCache:
             # that already succeeded.
             return False
         self.stats.stores += 1
-        report_mod.incr("cache_stores")
+        report_mod.incr(f"{self.counter_prefix}_stores")
         return True
 
     def load_or_build(self, key: str, builder: Callable[[], T]) -> T:
@@ -296,7 +310,11 @@ class ArtifactCache:
         entries = []
         total = 0
         try:
-            for path in self.directory.rglob("*.pkl"):
+            # Only this cache's own two-level fan-out layout (<xx>/<key>.pkl):
+            # nested sibling caches (e.g. the path-feature cache under
+            # features/) manage their own budget and must not have their
+            # entries charged against — or evicted by — this one.
+            for path in self.directory.glob("[0-9a-f][0-9a-f]/*.pkl"):
                 try:
                     stat = path.stat()
                 except OSError:
@@ -317,9 +335,9 @@ class ArtifactCache:
             total -= size
             deleted += 1
         if deleted:
-            report_mod.incr("cache_evictions", deleted)
+            report_mod.incr(f"{self.counter_prefix}_evictions", deleted)
         return deleted
 
     def _miss(self) -> None:
         self.stats.misses += 1
-        report_mod.incr("cache_misses")
+        report_mod.incr(f"{self.counter_prefix}_misses")

@@ -179,5 +179,13 @@ def build_dataset_parallel(
                 # New stores may have pushed the directory past its size
                 # budget (old code generations leave unreachable entries).
                 cache.prune()
+            for record, key in zip(records, keys):
+                # The build key is a full content identity for the record
+                # (spec ⊕ config ⊕ build code); stash it so downstream caches
+                # (path features) can address the record without re-pickling
+                # it into a fingerprint.  Any fingerprint that rode along in a
+                # cached pickle predates this session's key and is dropped.
+                record.__dict__.pop("_feature_fingerprint", None)
+                record.__dict__["_content_key"] = key
             report_mod.incr("designs", len(specs))
     return records

@@ -1,0 +1,166 @@
+"""Tests for the fold-aware path-feature cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_cache import (
+    CACHE_HIT_STAGE,
+    FEATURE_CACHE_DISK_ENV_VAR,
+    FEATURE_CACHE_ENV_VAR,
+    PathFeatureCache,
+    path_feature_cache,
+    path_dataset_key,
+    record_fingerprint_cached,
+    reset_feature_cache,
+)
+from repro.core.features import extract_path_dataset
+from repro.core.sampling import SamplingConfig
+from repro.runtime import RuntimeReport, activate
+from repro.runtime.cache import record_fingerprint
+
+EXTRACT_STAGE = "features.extract_path_dataset"
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Fresh cache per test, with the disk layer pointed at a temp directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    reset_feature_cache()
+    yield
+    reset_feature_cache()
+
+
+def _datasets_equal(a, b):
+    assert np.array_equal(a.features, b.features)
+    assert np.array_equal(a.groups, b.groups)
+    assert np.array_equal(a.endpoint_labels, b.endpoint_labels)
+    assert a.endpoint_names == b.endpoint_names
+    assert a.endpoint_signals == b.endpoint_signals
+    assert len(a.tokens) == len(b.tokens)
+    for ta, tb in zip(a.tokens, b.tokens):
+        assert np.array_equal(ta, tb)
+
+
+class TestCacheHits:
+    def test_hit_returns_identical_arrays(self, tiny_record):
+        report = RuntimeReport()
+        with activate(report):
+            miss = extract_path_dataset(tiny_record, "sog", SamplingConfig())
+            hit = extract_path_dataset(tiny_record, "sog", SamplingConfig())
+        _datasets_equal(miss, hit)
+        assert report.stage_calls[EXTRACT_STAGE] == 1
+        assert report.stage_calls[CACHE_HIT_STAGE] == 1
+        assert report.counters["feature_cache_misses"] == 1
+        assert report.counters["feature_cache_hits"] == 1
+
+    def test_hit_matches_uncached_extraction(self, tiny_record, monkeypatch):
+        cached = extract_path_dataset(tiny_record, "sog", SamplingConfig())
+        monkeypatch.setenv(FEATURE_CACHE_ENV_VAR, "0")
+        reset_feature_cache()
+        uncached = extract_path_dataset(tiny_record, "sog", SamplingConfig())
+        _datasets_equal(cached, uncached)
+
+    def test_disk_layer_survives_memory_clear(self, tiny_record):
+        report = RuntimeReport()
+        with activate(report):
+            first = extract_path_dataset(tiny_record, "sog", SamplingConfig())
+            path_feature_cache().clear()
+            second = extract_path_dataset(tiny_record, "sog", SamplingConfig())
+        _datasets_equal(first, second)
+        assert report.stage_calls[EXTRACT_STAGE] == 1  # the disk layer answered
+        assert report.counters["feature_disk_hits"] == 1
+
+    def test_memory_only_mode_reextracts_after_clear(self, tiny_record, monkeypatch):
+        monkeypatch.setenv(FEATURE_CACHE_DISK_ENV_VAR, "0")
+        reset_feature_cache()
+        report = RuntimeReport()
+        with activate(report):
+            extract_path_dataset(tiny_record, "sog", SamplingConfig())
+            path_feature_cache().clear()
+            extract_path_dataset(tiny_record, "sog", SamplingConfig())
+        assert report.stage_calls[EXTRACT_STAGE] == 2
+        assert "feature_disk_stores" not in report.counters
+
+    def test_disabled_cache_always_extracts(self, tiny_record, monkeypatch):
+        monkeypatch.setenv(FEATURE_CACHE_ENV_VAR, "0")
+        reset_feature_cache()
+        assert path_feature_cache() is None
+        report = RuntimeReport()
+        with activate(report):
+            extract_path_dataset(tiny_record, "sog", SamplingConfig())
+            extract_path_dataset(tiny_record, "sog", SamplingConfig())
+        assert report.stage_calls[EXTRACT_STAGE] == 2
+        assert CACHE_HIT_STAGE not in report.stage_calls
+
+
+class TestKeys:
+    def test_key_depends_on_variant_sampling_and_endpoints(self, tiny_record):
+        base = path_dataset_key(tiny_record, "sog", SamplingConfig(), None)
+        assert path_dataset_key(tiny_record, "aig", SamplingConfig(), None) != base
+        assert (
+            path_dataset_key(tiny_record, "sog", SamplingConfig(seed=5), None) != base
+        )
+        assert (
+            path_dataset_key(tiny_record, "sog", SamplingConfig(use_sampling=False), None)
+            != base
+        )
+        subset = tiny_record.endpoint_names[:2]
+        assert path_dataset_key(tiny_record, "sog", SamplingConfig(), subset) != base
+
+    def test_key_differs_across_records(self, tiny_records):
+        keys = {
+            path_dataset_key(record, "sog", SamplingConfig(), None)
+            for record in tiny_records
+        }
+        assert len(keys) == len(tiny_records)
+
+    def test_fingerprint_memoized_on_record(self, tiny_record):
+        value = record_fingerprint_cached(tiny_record)
+        assert value == f"fp:{record_fingerprint(tiny_record)}"
+        assert tiny_record.__dict__["_feature_fingerprint"] == value
+        assert record_fingerprint_cached(tiny_record) == value
+
+    def test_engine_built_records_reuse_content_key(self, tiny_record):
+        import copy
+
+        record = copy.copy(tiny_record)
+        record.__dict__.pop("_feature_fingerprint", None)
+        record.__dict__["_content_key"] = "abc123"
+        assert record_fingerprint_cached(record) == "key:abc123"
+
+
+class TestFoldCollapse:
+    def test_cv_reextraction_collapses_to_one_call_per_design_variant(self, tiny_records):
+        """The satellite guarantee: folds share one extraction per (design, variant)."""
+        variants = ("sog", "aig")
+        sampling = SamplingConfig()
+        report = RuntimeReport()
+        with activate(report):
+            for fold in range(3):
+                train = [r for i, r in enumerate(tiny_records) if i % 3 != fold]
+                for record in train:
+                    for variant in variants:
+                        extract_path_dataset(record, variant, sampling)
+        # Every record sits in exactly 2 of the 3 training folds.
+        total_calls = 2 * len(tiny_records) * len(variants)
+        unique = len(tiny_records) * len(variants)
+        assert report.stage_calls[EXTRACT_STAGE] == unique
+        assert report.stage_calls[CACHE_HIT_STAGE] == total_calls - unique
+        assert report.counters["feature_cache_hits"] == total_calls - unique
+
+
+class TestEviction:
+    def test_memory_layer_bounded(self, tiny_records):
+        cache = PathFeatureCache(max_entries=2, disk=False)
+        for index, record in enumerate(tiny_records[:4]):
+            cache.get_or_extract(str(index), lambda r=record: r.name)
+        assert cache.n_memory_entries == 2
+
+    def test_lru_keeps_recently_used(self):
+        cache = PathFeatureCache(max_entries=2, disk=False)
+        cache.get_or_extract("a", lambda: 1)
+        cache.get_or_extract("b", lambda: 2)
+        cache.get_or_extract("a", lambda: None)  # refresh "a"
+        cache.get_or_extract("c", lambda: 3)  # evicts "b"
+        assert cache.get_or_extract("a", lambda: "rebuilt") == 1
+        assert cache.get_or_extract("b", lambda: "rebuilt") == "rebuilt"

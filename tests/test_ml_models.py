@@ -58,6 +58,33 @@ class TestLosses:
         _, gradient = grouped_softmax_loss_and_gradient(predictions, groups, np.array([1.0]))
         assert gradient[0] != 0.0 and gradient[1] != 0.0
 
+    def test_group_argmax_first_winner_tie_breaking(self):
+        values = np.array([2.0, 5.0, 5.0, 5.0, 1.0, 1.0])
+        groups = np.array([0, 0, 0, 1, 1, 2])
+        # Group 0 ties at 5.0 on rows 1 and 2: the first row in input order wins.
+        assert list(group_argmax(values, groups)) == [1, 3, 5]
+
+    def test_group_argmax_empty_group_reports_minus_one(self):
+        values = np.array([1.0, 2.0])
+        groups = np.array([0, 0])
+        assert list(group_argmax(values, groups, n_groups=3)) == [1, -1, -1]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(st.floats(-50, 50), min_size=1, max_size=30),
+        n_groups=st.integers(min_value=1, max_value=5),
+    )
+    def test_group_argmax_matches_scalar_reference(self, values, n_groups):
+        values = np.array(values)
+        groups = (np.arange(len(values)) * 7) % n_groups
+        best_value = np.full(n_groups, -np.inf)
+        expected = np.full(n_groups, -1, dtype=int)
+        for row, (value, group) in enumerate(zip(values, groups)):
+            if value > best_value[group]:
+                best_value[group] = value
+                expected[group] = row
+        assert list(group_argmax(values, groups, n_groups)) == list(expected)
+
     @settings(max_examples=40, deadline=None)
     @given(
         values=st.lists(st.floats(-50, 50), min_size=3, max_size=12),

@@ -11,8 +11,11 @@ from repro.ml import (
     GroupedMaxSquaredError,
     HuberObjective,
     NewtonTreeRegressor,
+    bin_feature_matrix,
     group_max,
+    resolve_max_bins,
 )
+from repro.ml.tree import BINS_ENV_VAR
 
 
 @pytest.fixture(scope="module")
@@ -153,6 +156,215 @@ class TestGroupedMaxObjective:
     def test_invalid_group_ids_rejected(self):
         with pytest.raises(ValueError):
             GroupedMaxSquaredError(np.array([0, 1, 5]), np.array([1.0, 2.0]))
+
+
+def _variance_split_gain(X, y, weights, feature, threshold):
+    """Reference weighted variance-reduction gain of one split."""
+
+    def half_score(mask):
+        w = weights[mask]
+        return float(np.dot(y[mask], w)) ** 2 / max(float(w.sum()), 1e-12)
+
+    mask = X[:, feature] <= threshold
+    parent = float(np.dot(y, weights)) ** 2 / max(float(weights.sum()), 1e-12)
+    return half_score(mask) + half_score(~mask) - parent
+
+
+class TestBinning:
+    def test_low_cardinality_gets_one_bin_per_value(self):
+        X = np.array([[0.0], [2.0], [2.0], [5.0], [9.0]])
+        binned = bin_feature_matrix(X, max_bins=256)
+        assert len(binned.cuts[0]) == 3  # 4 distinct values -> 3 cut points
+        assert list(binned.codes[:, 0]) == [0, 1, 1, 2, 3]
+
+    def test_codes_are_monotone_in_value(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(3000, 2))
+        binned = bin_feature_matrix(X, max_bins=16)
+        for feature in range(2):
+            order = np.argsort(X[:, feature])
+            codes = binned.codes[order, feature].astype(int)
+            assert np.all(np.diff(codes) >= 0)
+            assert codes.max() <= 15
+
+    def test_cut_points_partition_like_thresholds(self):
+        rng = np.random.default_rng(1)
+        column = rng.normal(size=(500, 1))
+        binned = bin_feature_matrix(column, max_bins=8)
+        for index, cut in enumerate(binned.cuts[0]):
+            assert np.array_equal(
+                binned.codes[:, 0] <= index, column[:, 0] <= cut
+            )
+
+    def test_env_knob_overrides_budget(self, monkeypatch):
+        monkeypatch.setenv(BINS_ENV_VAR, "32")
+        assert resolve_max_bins() == 32
+        assert resolve_max_bins(8) == 8  # explicit argument wins
+        monkeypatch.setenv(BINS_ENV_VAR, "100000")
+        assert resolve_max_bins() == 256  # uint8 ceiling
+        monkeypatch.setenv(BINS_ENV_VAR, "garbage")
+        assert resolve_max_bins() == 256
+
+
+class TestSplitterEquivalence:
+    """Histogram vs exact split finding on bin-exact (low-cardinality) data."""
+
+    def _data(self, seed=3, rows=400):
+        rng = np.random.default_rng(seed)
+        X = rng.integers(0, 25, size=(rows, 5)).astype(float)
+        y = X @ np.array([1.0, -2.0, 0.5, 0.0, 3.0]) + rng.normal(size=rows)
+        return X, y
+
+    def test_identical_predictions_with_tied_values(self):
+        X, y = self._data()
+        exact = DecisionTreeRegressor(splitter="exact", max_depth=6).fit(X, y)
+        hist = DecisionTreeRegressor(splitter="hist", max_depth=6).fit(X, y)
+        assert np.array_equal(exact.predict(X), hist.predict(X))
+        assert exact.n_leaves() == hist.n_leaves()
+
+    def test_constant_column_never_split(self):
+        X, y = self._data()
+        X[:, 3] = 7.0
+        for splitter in ("exact", "hist"):
+            tree = DecisionTreeRegressor(splitter=splitter, max_depth=6).fit(X, y)
+            stack = [tree.root_]
+            while stack:
+                node = stack.pop()
+                if node.is_leaf:
+                    continue
+                assert node.feature != 3
+                stack.extend([node.left, node.right])
+
+    def test_all_constant_features_give_single_leaf(self):
+        X = np.full((30, 3), 2.0)
+        y = np.arange(30, dtype=float)
+        for splitter in ("exact", "hist"):
+            tree = DecisionTreeRegressor(
+                splitter=splitter, max_depth=5, min_samples_split=2
+            ).fit(X, y)
+            assert tree.n_leaves() == 1
+
+    def test_root_split_gains_match_with_weights(self):
+        X, y = self._data(seed=11)
+        rng = np.random.default_rng(4)
+        weights = rng.uniform(0.1, 3.0, size=len(y))
+        exact = DecisionTreeRegressor(splitter="exact", max_depth=1, min_samples_leaf=1)
+        hist = DecisionTreeRegressor(splitter="hist", max_depth=1, min_samples_leaf=1)
+        exact.fit(X, y, sample_weight=weights)
+        hist.fit(X, y, sample_weight=weights)
+        assert not exact.root_.is_leaf and not hist.root_.is_leaf
+        gain_exact = _variance_split_gain(
+            X, y, weights, exact.root_.feature, exact.root_.threshold
+        )
+        gain_hist = _variance_split_gain(
+            X, y, weights, hist.root_.feature, hist.root_.threshold
+        )
+        assert gain_hist == pytest.approx(gain_exact, rel=1e-9)
+        # The chosen partitions are identical, not just equally good.
+        assert exact.root_.feature == hist.root_.feature
+        assert np.array_equal(
+            X[:, exact.root_.feature] <= exact.root_.threshold,
+            X[:, hist.root_.feature] <= hist.root_.threshold,
+        )
+
+    def test_weighted_fit_predictions_match(self):
+        X, y = self._data(seed=5)
+        rng = np.random.default_rng(6)
+        weights = rng.uniform(0.1, 4.0, size=len(y))
+        exact = DecisionTreeRegressor(splitter="exact", max_depth=5).fit(
+            X, y, sample_weight=weights
+        )
+        hist = DecisionTreeRegressor(splitter="hist", max_depth=5).fit(
+            X, y, sample_weight=weights
+        )
+        assert np.allclose(exact.predict(X), hist.predict(X))
+
+    def test_newton_trees_identical_on_binned_data(self):
+        X, y = self._data(seed=7)
+        rng = np.random.default_rng(8)
+        grad = y - rng.normal(size=len(y))
+        hess = rng.uniform(0.5, 2.0, size=len(y))
+        exact = NewtonTreeRegressor(splitter="exact", max_depth=5)
+        hist = NewtonTreeRegressor(splitter="hist", max_depth=5)
+        exact.fit_gradients(X, grad, hess)
+        hist.fit_gradients(X, grad, hess)
+        assert np.array_equal(exact.predict(X), hist.predict(X))
+
+    def test_gbm_metrics_close_on_continuous_data(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(800, 6))
+        y = 2.0 * X[:, 0] - X[:, 1] + np.sin(X[:, 2]) + 0.1 * rng.normal(size=800)
+        exact = GradientBoostingRegressor(n_estimators=30, splitter="exact").fit(
+            X[:600], y[:600]
+        )
+        hist = GradientBoostingRegressor(n_estimators=30, splitter="hist").fit(
+            X[:600], y[:600]
+        )
+        mse_exact = np.mean((exact.predict(X[600:]) - y[600:]) ** 2)
+        mse_hist = np.mean((hist.predict(X[600:]) - y[600:]) ** 2)
+        assert mse_hist <= mse_exact * 1.25
+        assert np.corrcoef(exact.predict(X[600:]), hist.predict(X[600:]))[0, 1] > 0.98
+
+    def test_unknown_splitter_rejected(self):
+        X = np.zeros((10, 2))
+        y = np.arange(10, dtype=float)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(splitter="bogus").fit(X, y)
+        with pytest.raises(ValueError):
+            NewtonTreeRegressor(splitter="bogus").fit(X, y)
+
+    def test_small_bin_budget_still_learns(self):
+        rng = np.random.default_rng(10)
+        X = rng.normal(size=(600, 4))
+        y = 3.0 * X[:, 0] + X[:, 1]
+        tree = DecisionTreeRegressor(splitter="hist", max_bins=8, max_depth=6).fit(X, y)
+        assert np.corrcoef(tree.predict(X), y)[0, 1] > 0.9
+
+
+class TestFlatPredict:
+    def test_flat_matches_recursive_on_randomized_trees(self):
+        rng = np.random.default_rng(12)
+        for seed in range(8):
+            X = rng.normal(size=(300, 4))
+            y = rng.normal(size=300) + X[:, seed % 4]
+            splitter = "hist" if seed % 2 == 0 else "exact"
+            tree = DecisionTreeRegressor(
+                splitter=splitter,
+                max_depth=int(rng.integers(1, 9)),
+                min_samples_leaf=int(rng.integers(1, 6)),
+                seed=seed,
+            ).fit(X, y)
+            fresh = rng.normal(size=(200, 4))
+            assert np.array_equal(tree.predict(X), tree.predict_recursive(X))
+            assert np.array_equal(tree.predict(fresh), tree.predict_recursive(fresh))
+
+    def test_flat_tree_arrays_consistent(self):
+        rng = np.random.default_rng(13)
+        X = rng.normal(size=(200, 3))
+        y = X[:, 0] * 2.0 + rng.normal(size=200)
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        flat = tree.flat_
+        leaves = flat.feature < 0
+        assert leaves.sum() == tree.n_leaves()
+        interior = ~leaves
+        # Children of interior nodes point strictly forward (preorder layout).
+        assert np.all(flat.left[interior] > np.nonzero(interior)[0])
+        assert np.all(flat.right[interior] > np.nonzero(interior)[0])
+
+    def test_training_predictions_match_predict(self):
+        rng = np.random.default_rng(14)
+        X = rng.normal(size=(250, 4))
+        y = X[:, 1] - X[:, 2] + rng.normal(size=250)
+        tree = DecisionTreeRegressor(splitter="hist", max_depth=5).fit(X, y)
+        assert np.array_equal(tree.training_predictions_, tree.predict(X))
+        newton = NewtonTreeRegressor(splitter="hist", max_depth=5).fit(X, y)
+        assert np.array_equal(newton.training_predictions_, newton.predict(X))
+
+    def test_single_leaf_tree_predicts_constant(self):
+        X = np.zeros((10, 2))
+        y = np.full(10, 3.5)
+        tree = DecisionTreeRegressor(max_depth=0).fit(X, y)
+        assert np.allclose(tree.predict(np.random.default_rng(0).normal(size=(5, 2))), 3.5)
 
 
 @settings(max_examples=25, deadline=None)
