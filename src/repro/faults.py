@@ -1,0 +1,50 @@
+"""Debug-only fault injection for differential-fuzzing self-tests.
+
+The cross-stack fuzz oracles (:mod:`repro.fuzz.oracles`) are only
+trustworthy if a real divergence between two implementations of the same
+contract is actually *caught*.  This module provides the hook the fuzz
+campaign uses to prove that: naming a fault in the ``REPRO_FAULT_INJECT``
+environment variable (comma-separated for several) flips a tiny, targeted
+perturbation inside exactly one of the redundant implementations, which the
+corresponding oracle must then detect and shrink.
+
+Known fault points (each perturbs one side of a differential pair):
+
+* ``incremental.extra_load`` — :meth:`IncrementalSTA._recompute_load` drops
+  the ``extra_load`` term from the dirty-vertex load sum, so the incremental
+  engine disagrees with a full :func:`repro.sta.engine.analyze` re-run
+  whenever a patch touches a loaded vertex.
+* ``interpret.add`` — the word-level interpreter computes ``a + b + 1``,
+  diverging from the bit-blasted ripple-carry adder.
+* ``gbm.hist_threshold`` — the histogram splitter nudges every chosen cut
+  threshold upward, diverging from the exact splitter's partitions.
+
+The hooks are read from the environment on every call so tests can flip
+them with ``monkeypatch.setenv`` without import-order concerns; the lookup
+is a dictionary get and two string operations, which is negligible next to
+the work of the code paths that carry the hooks.  Production code never
+sets the variable, so every fault defaults to off.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Comma-separated list of active fault names (debug/testing only).
+FAULT_ENV_VAR = "REPRO_FAULT_INJECT"
+
+
+def active_faults() -> frozenset:
+    """The set of fault names currently enabled via the environment."""
+    raw = os.environ.get(FAULT_ENV_VAR, "")
+    if not raw:
+        return frozenset()
+    return frozenset(part.strip() for part in raw.split(",") if part.strip())
+
+
+def fault_active(name: str) -> bool:
+    """Whether the named fault is enabled (always False outside debugging)."""
+    raw = os.environ.get(FAULT_ENV_VAR, "")
+    if not raw:
+        return False
+    return any(part.strip() == name for part in raw.split(","))

@@ -1,0 +1,336 @@
+"""Differential equivalence oracles run on every fuzz design.
+
+Each oracle pits two independent implementations of the same contract
+against each other on randomized inputs and reports human-readable
+violation messages (empty list == clean):
+
+* ``interpret_vs_simulate`` — the word-level interpreter against bit-blasted
+  simulation of all four BOG variants, bit for bit, under random stimulus;
+* ``incremental_vs_full`` — the dirty-cone incremental STA against a full
+  re-analysis after random patch sequences (1e-9, bit-identical in practice);
+* ``hist_vs_exact_gbm`` — the histogram GBM splitter against the exact
+  reference splitter on the design's extracted path features, plus flattened
+  (``FlatTree``) against recursive prediction;
+* ``build_determinism`` — a from-scratch rebuild and an artifact-cache
+  round-trip must reproduce the record byte-for-byte
+  (:func:`~repro.runtime.cache.record_fingerprint`);
+* ``parallel_vs_serial`` — pool-worker record builds must be byte-identical
+  to in-process builds.
+
+A :class:`FuzzContext` lazily shares the expensive artifacts (analyzed
+design, BOG variants, full DesignRecord) between the oracles of one design.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.bog.builder import bit_name
+from repro.bog.simulate import evaluate_signal_words
+from repro.bog.transforms import build_variants
+from repro.core.dataset import DesignRecord, build_design_record
+from repro.core.features import extract_path_dataset
+from repro.fuzz.corpus import FuzzDesign
+from repro.hdl.design import Design
+from repro.hdl.interpret import Interpreter
+from repro.incremental.engine import IncrementalSTA
+from repro.incremental.patches import AddExtraLoad, RewireFanins, SetDerate, SwapCell
+from repro.ml.tree import DecisionTreeRegressor, NewtonTreeRegressor, resolve_max_bins
+from repro.runtime.cache import ArtifactCache, record_fingerprint
+from repro.runtime.parallel import parallel_build_records
+from repro.sta.engine import analyze as sta_analyze
+from repro.sta.network import VertexKind
+
+#: Numeric tolerance of the incremental-vs-full oracle (matches the
+#: property tests in ``tests/test_incremental.py``; both paths share
+#: ``propagate_vertex`` so agreement is bit-for-bit in practice).
+STA_TOLERANCE = 1e-9
+
+def _gbm_row_cap() -> int:
+    """Row cap for the splitter-equivalence fit.
+
+    At most as many rows as the *effective* histogram bin budget
+    (``REPRO_GBM_BINS``-aware) keeps every feature column's distinct-value
+    count within the budget, the regime where histogram and exact splits are
+    defined to coincide.
+    """
+    return resolve_max_bins()
+
+
+@dataclass(frozen=True)
+class OracleViolation:
+    """One confirmed disagreement between two stack implementations."""
+
+    oracle: str
+    design: str
+    seed: int
+    size_class: str
+    message: str
+
+
+class FuzzContext:
+    """Lazily shared per-design artifacts for one oracle pass."""
+
+    def __init__(self, fuzz: FuzzDesign):
+        self.fuzz = fuzz
+        self._design: Optional[Design] = None
+        self._variants = None
+        self._record: Optional[DesignRecord] = None
+
+    @property
+    def design(self) -> Design:
+        if self._design is None:
+            self._design = self.fuzz.analyzed()
+        return self._design
+
+    @property
+    def variants(self):
+        if self._variants is None:
+            self._variants = build_variants(self.design)
+        return self._variants
+
+    @property
+    def record(self) -> DesignRecord:
+        # Built with default naming so determinism oracles can compare against
+        # pool-worker builds (which cannot pass a name for raw sources).
+        if self._record is None:
+            self._record = build_design_record(self.fuzz.source)
+        return self._record
+
+
+OracleFn = Callable[[FuzzContext, random.Random], List[str]]
+
+
+def interpret_vs_simulate(
+    ctx: FuzzContext, rng: random.Random, n_vectors: int = 4
+) -> List[str]:
+    """hdl.interpret vs bog.simulate, bit for bit, on every variant."""
+    design = ctx.design
+    interpreter = Interpreter(design)
+    problems: List[str] = []
+    driven = design.inputs + design.register_signals
+    max_problems = 4  # one mismatch usually repeats across variants/vectors
+    for vector in range(n_vectors):
+        if len(problems) >= max_problems:
+            break
+        values = {signal.name: rng.getrandbits(signal.width) for signal in driven}
+        reference = interpreter.evaluate_step(values)
+        source_bits = {
+            bit_name(signal.name, i): (values[signal.name] >> i) & 1
+            for signal in driven
+            for i in range(signal.width)
+        }
+        for variant, graph in ctx.variants.items():
+            words = evaluate_signal_words(graph, source_bits)
+            for signal in design.register_signals + design.outputs:
+                if signal.name not in words:
+                    continue
+                if words[signal.name] != reference[signal.name]:
+                    problems.append(
+                        f"vector {vector}: {variant} computes "
+                        f"{signal.name}={words[signal.name]:#x}, interpreter says "
+                        f"{reference[signal.name]:#x} (stimulus {values!r})"
+                    )
+                    if len(problems) >= max_problems:
+                        return problems
+    return problems
+
+
+def _random_patches(network, rng: random.Random, count: int):
+    """A random acyclic patch mix, guaranteed to include one load patch."""
+    gates = [v.id for v in network.vertices if v.kind is VertexKind.GATE]
+    loadable = [
+        v.id for v in network.vertices if v.kind in (VertexKind.GATE, VertexKind.REGISTER)
+    ]
+    if not loadable:
+        return []
+    position = {v: i for i, v in enumerate(network.topological_order())}
+    patches = [AddExtraLoad(rng.choice(loadable), rng.uniform(0.5, 8.0))]
+    attempts = 0
+    while len(patches) < count and attempts < count * 4:
+        attempts += 1
+        kind = rng.choice(("derate", "swap", "load", "rewire"))
+        if kind == "load":
+            patches.append(AddExtraLoad(rng.choice(loadable), rng.uniform(0.1, 8.0)))
+            continue
+        if not gates:
+            continue
+        vertex = rng.choice(gates)
+        if kind == "derate":
+            patches.append(SetDerate(vertex, rng.uniform(0.4, 1.6)))
+        elif kind == "swap":
+            cell = network.vertices[vertex].cell
+            alternative = network.library.upsize(cell) or network.library.downsize(cell)
+            if alternative is not None:
+                patches.append(SwapCell(vertex, alternative))
+        else:
+            fanins = network.vertices[vertex].fanins
+            upstream = [
+                u for u in position if position[u] < position[vertex] and u not in fanins
+            ]
+            if fanins and upstream:
+                rewired = list(fanins)
+                rewired[rng.randrange(len(rewired))] = rng.choice(upstream)
+                patches.append(RewireFanins(vertex, rewired))
+    return patches
+
+
+def incremental_vs_full(
+    ctx: FuzzContext, rng: random.Random, n_rounds: int = 3
+) -> List[str]:
+    """Dirty-cone incremental STA vs full re-analysis over random patches."""
+    record = ctx.record
+    network = record.synthesis.netlist
+    engine = IncrementalSTA(network, record.clock, baseline=record.synthesis.report)
+    problems: List[str] = []
+    for round_index in range(n_rounds):
+        patches = _random_patches(network, rng, rng.randint(1, 8))
+        if not patches:
+            return problems
+        with engine.what_if(patches) as incremental:
+            full = sta_analyze(network, record.clock)
+            for label, inc_array, full_array in (
+                ("arrivals", incremental.arrivals, full.arrivals),
+                ("slews", incremental.slews, full.slews),
+                ("loads", incremental.loads, full.loads),
+            ):
+                worst = float(np.max(np.abs(inc_array - full_array), initial=0.0))
+                if worst > STA_TOLERANCE:
+                    problems.append(
+                        f"round {round_index}: incremental {label} diverge from full "
+                        f"re-analysis by {worst:.3e} (> {STA_TOLERANCE}) after "
+                        f"{len(patches)} patches"
+                    )
+            if (
+                abs(incremental.wns - full.wns) > STA_TOLERANCE
+                or abs(incremental.tns - full.tns) > STA_TOLERANCE
+            ):
+                problems.append(
+                    f"round {round_index}: WNS/TNS mismatch "
+                    f"({incremental.wns:.9f}/{incremental.tns:.9f} vs "
+                    f"{full.wns:.9f}/{full.tns:.9f})"
+                )
+        if problems:
+            return problems
+    return problems
+
+
+def _dyadic(values: np.ndarray) -> np.ndarray:
+    """Quantize to multiples of 1/64 so sums/products are exact in float64.
+
+    The hist splitter derives sibling histograms by parent-minus-child
+    subtraction, so on arbitrary floats its per-node sums can drift from the
+    exact splitter's sorted cumulative sums by accumulated rounding — enough
+    to flip gain ties between correlated features at deep nodes (found by
+    this very fuzzer).  On dyadic inputs every histogram/cumsum/subtraction
+    is exact, the two splitters' gains agree bit for bit at any depth, and
+    the oracle tests the algorithmic contract (candidate cuts, partitions,
+    tie-breaking, leaf constraints) instead of float-summation association.
+    """
+    return np.round(np.asarray(values, dtype=float) * 64.0) / 64.0
+
+
+def hist_vs_exact_gbm(ctx: FuzzContext, rng: random.Random) -> List[str]:
+    """Histogram vs exact splitter (and flat vs recursive predict)."""
+    dataset = extract_path_dataset(ctx.record, variant="sog")
+    X = np.asarray(dataset.features, dtype=float)
+    if len(X) < 2:
+        return []
+    row_cap = _gbm_row_cap()
+    if len(X) > row_cap:
+        X = X[:row_cap]
+        groups = dataset.groups[:row_cap]
+    else:
+        groups = dataset.groups
+    X = _dyadic(X)
+    y = _dyadic(np.asarray(dataset.endpoint_labels, dtype=float)[groups])
+    problems: List[str] = []
+    depth = rng.choice((2, 4, 6))
+    for label, exact_tree, hist_tree in (
+        (
+            "variance",
+            DecisionTreeRegressor(splitter="exact", max_depth=depth, min_samples_leaf=1),
+            DecisionTreeRegressor(splitter="hist", max_depth=depth, min_samples_leaf=1),
+        ),
+        (
+            "newton",
+            NewtonTreeRegressor(splitter="exact", max_depth=depth),
+            NewtonTreeRegressor(splitter="hist", max_depth=depth),
+        ),
+    ):
+        exact_tree.fit(X, y)
+        hist_tree.fit(X, y)
+        exact_pred = exact_tree.predict(X)
+        hist_pred = hist_tree.predict(X)
+        if not np.array_equal(exact_pred, hist_pred):
+            worst = float(np.max(np.abs(exact_pred - hist_pred)))
+            problems.append(
+                f"{label} tree (depth {depth}, {len(X)} paths): hist splitter "
+                f"diverges from exact splitter by {worst:.3e}"
+            )
+        for name, tree in (("exact", exact_tree), ("hist", hist_tree)):
+            flat = tree.predict(X)
+            recursive = tree.predict_recursive(X)
+            if not np.array_equal(flat, recursive):
+                problems.append(
+                    f"{label}/{name} tree: FlatTree predict diverges from "
+                    f"predict_recursive"
+                )
+    return problems
+
+
+def build_determinism(ctx: FuzzContext, rng: random.Random) -> List[str]:
+    """Rebuild + cache round-trip must reproduce the record byte-for-byte."""
+    first = record_fingerprint(ctx.record)
+    rebuilt = build_design_record(ctx.fuzz.source)
+    problems: List[str] = []
+    if record_fingerprint(rebuilt) != first:
+        problems.append("cache-off rebuild produced a different record fingerprint")
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-cache-") as tmp:
+        cache = ArtifactCache(tmp, enabled=True)
+        cache.put("fuzz-roundtrip", ctx.record)
+        loaded = cache.get("fuzz-roundtrip")
+        if loaded is None:
+            problems.append("artifact cache lost the stored record")
+        elif record_fingerprint(loaded) != first:
+            problems.append("artifact-cache round-trip changed the record fingerprint")
+    return problems
+
+
+def parallel_vs_serial(ctx: FuzzContext, rng: random.Random) -> List[str]:
+    """Pool-worker builds must be byte-identical to in-process builds."""
+    serial = record_fingerprint(ctx.record)
+    built = parallel_build_records([ctx.fuzz.source, ctx.fuzz.source], jobs=2)
+    problems: List[str] = []
+    for index, record in enumerate(built):
+        fingerprint = record_fingerprint(record)
+        if fingerprint != serial:
+            problems.append(
+                f"parallel worker build {index} fingerprint {fingerprint[:12]} != "
+                f"serial {serial[:12]}"
+            )
+    return problems
+
+
+#: Registry: oracle name -> callable.  ``DEFAULT_CADENCE`` spaces out the
+#: oracles whose cost is a full extra record build.
+ORACLES: Dict[str, OracleFn] = {
+    "interpret_vs_simulate": interpret_vs_simulate,
+    "incremental_vs_full": incremental_vs_full,
+    "hist_vs_exact_gbm": hist_vs_exact_gbm,
+    "build_determinism": build_determinism,
+    "parallel_vs_serial": parallel_vs_serial,
+}
+
+DEFAULT_CADENCE: Dict[str, int] = {
+    "interpret_vs_simulate": 1,
+    "incremental_vs_full": 1,
+    "hist_vs_exact_gbm": 1,
+    "build_determinism": 5,
+    "parallel_vs_serial": 12,
+}

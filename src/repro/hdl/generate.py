@@ -36,12 +36,29 @@ from repro.runtime.report import stage as _stage
 
 @dataclass(frozen=True)
 class GeneratorConfig:
-    """Knobs shared by all generated designs."""
+    """Knobs shared by all generated designs.
+
+    The construct probabilities below the first block default to 0.0 and are
+    *draw-order neutral* when disabled: the fixed 21-design benchmark suite
+    generates byte-identical sources with a default config before and after
+    these knobs existed.  The fuzz corpus (:mod:`repro.fuzz.corpus`) enables
+    them to reach grammar regions — reduction operators, replication,
+    nested ``if``/``else``, split part-select assigns, the full comparison
+    alphabet, mixed register widths — that none of the fixed designs use.
+    """
 
     max_expr_depth: int = 3
     enable_probability: float = 0.55
     feedback_probability: float = 0.35
     output_fraction: float = 0.25
+
+    # -- fuzz-corpus construct knobs (0.0 == disabled, no RNG draws) --------
+    reduction_probability: float = 0.0
+    replicate_probability: float = 0.0
+    nested_if_probability: float = 0.0
+    partselect_assign_probability: float = 0.0
+    rich_compare_probability: float = 0.0
+    width_jitter_probability: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -155,18 +172,31 @@ def benchmark_suite(
     return sources
 
 
-def generate_design(spec: DesignSpec, config: Optional[GeneratorConfig] = None) -> str:
-    """Generate the Verilog source for one design described by ``spec``."""
+def generate_design(
+    spec: DesignSpec,
+    config: Optional[GeneratorConfig] = None,
+    rng: Optional[random.Random] = None,
+) -> str:
+    """Generate the Verilog source for one design described by ``spec``.
+
+    ``rng`` injects the statement-level random stream; by default a fresh
+    ``random.Random(spec.seed)`` is used so every ``(spec, config)`` pair is
+    replayable.  The fuzz corpus passes its own seeded stream so the fixed
+    benchmark suite and randomized fuzz designs share this one generator
+    core.
+    """
     config = config or GeneratorConfig()
     with _stage("hdl.generate_design"):
-        return _DesignWriter(spec, config).build()
+        return _DesignWriter(spec, config, rng=rng).build()
 
 
 def generate_and_analyze(
-    spec: DesignSpec, config: Optional[GeneratorConfig] = None
+    spec: DesignSpec,
+    config: Optional[GeneratorConfig] = None,
+    rng: Optional[random.Random] = None,
 ) -> Design:
     """Generate, parse and analyze a design in one call."""
-    source = generate_design(spec, config)
+    source = generate_design(spec, config, rng=rng)
     module = parse_source(source)
     return analyze(module, source=source)
 
@@ -187,10 +217,15 @@ class _SignalRef:
 class _DesignWriter:
     """Builds the Verilog text for a single synthetic design."""
 
-    def __init__(self, spec: DesignSpec, config: GeneratorConfig):
+    def __init__(
+        self,
+        spec: DesignSpec,
+        config: GeneratorConfig,
+        rng: Optional[random.Random] = None,
+    ):
         self.spec = spec
         self.config = config
-        self.rng = random.Random(spec.seed)
+        self.rng = rng if rng is not None else random.Random(spec.seed)
         self.ops = _FAMILY_OPS[spec.family]
         self.port_lines: List[str] = []
         self.decl_lines: List[str] = []
@@ -294,11 +329,25 @@ class _DesignWriter:
         regs: List[_SignalRef] = []
         for index in range(spec.regs_per_stage):
             width = spec.data_width
+            if self._maybe(self.config.width_jitter_probability):
+                # Mixed register widths force zero-extension/truncation in
+                # downstream arithmetic (none of the fixed designs mix widths
+                # within a stage).
+                width = 1 + self.rng.randrange(spec.data_width + 2)
             reg_name = f"s{stage}_r{index}"
             self.decl_lines.append(f"  reg [{width - 1}:0] {reg_name};")
 
-            expr = self._expression(sources, width, spec.expr_depth)
-            wire_name = self._emit_wire(width, expr)
+            if width >= 2 and self._maybe(self.config.partselect_assign_probability):
+                wire_name = self._emit_split_wire(sources, width, spec.expr_depth)
+            else:
+                expr = self._expression(sources, width, spec.expr_depth)
+                wire_name = self._emit_wire(width, expr)
+
+            controls = control_regs + control_inputs
+            if controls and self._maybe(self.config.nested_if_probability):
+                self._emit_nested_update(reg_name, wire_name, sources, width, controls)
+                regs.append(_SignalRef(reg_name, width))
+                continue
 
             use_enable = self.rng.random() < self.config.enable_probability
             if use_enable and control_regs:
@@ -321,6 +370,83 @@ class _DesignWriter:
             self.always_lines.append(f"      {reg_name} <= {wire_name};")
             regs.append(_SignalRef(reg_name, width))
         return regs
+
+    # -- fuzz-corpus constructs ----------------------------------------------
+
+    def _maybe(self, probability: float) -> bool:
+        """Draw against an optional-construct knob.
+
+        The knob check short-circuits *before* the RNG draw, so a disabled
+        construct (probability 0.0, the default) consumes no randomness and
+        the fixed benchmark designs stay byte-identical.
+        """
+        return probability > 0.0 and self.rng.random() < probability
+
+    def _select_bit(self, sources: List[_SignalRef]) -> str:
+        """A 1-bit expression string: a scalar signal or a random bit select."""
+        ref = self.rng.choice(sources)
+        if ref.width == 1:
+            return ref.name
+        return f"{ref.name}[{self.rng.randrange(ref.width)}]"
+
+    def _emit_split_wire(self, sources: List[_SignalRef], width: int, depth: int) -> str:
+        """A wire driven by two part-select assigns (``w[h:m]`` / ``w[m-1:0]``)."""
+        name = f"w{self._wire_counter}"
+        self._wire_counter += 1
+        self.decl_lines.append(f"  wire [{width - 1}:0] {name};")
+        mid = self.rng.randrange(1, width)
+        high = self._expression(sources, width - mid, max(depth - 1, 0))
+        low = self._expression(sources, mid, max(depth - 1, 0))
+        self.assign_lines.append(f"  assign {name}[{width - 1}:{mid}] = {high};")
+        self.assign_lines.append(f"  assign {name}[{mid - 1}:0] = {low};")
+        return name
+
+    def _emit_nested_update(
+        self,
+        reg_name: str,
+        wire_name: str,
+        sources: List[_SignalRef],
+        width: int,
+        controls: List[_SignalRef],
+    ) -> None:
+        """Register update through a nested ``if``/``else`` tree."""
+        outer = self.rng.choice(controls).name
+        inner = self.rng.choice(controls).name
+        alt = self._emit_wire(width, self._expression(sources, width, 1))
+        self.always_lines.append(f"      if ({outer}) begin")
+        self.always_lines.append(f"        if ({inner}) {reg_name} <= {wire_name};")
+        self.always_lines.append(f"        else {reg_name} <= {alt};")
+        if self.rng.random() < 0.5:
+            other = self._emit_wire(width, self._expression(sources, width, 1))
+            self.always_lines.append("      end else begin")
+            self.always_lines.append(f"        {reg_name} <= {other};")
+            self.always_lines.append("      end")
+        else:
+            self.always_lines.append("      end")
+
+    def _replicate_expr(self, sources: List[_SignalRef], width: int, depth: int) -> str:
+        """Replication mask: ``({W{bit}} op operand)``."""
+        bit = self._select_bit(sources)
+        op = self.rng.choice(["&", "^", "|"])
+        operand = self._expression(sources, width, max(depth - 1, 0))
+        return f"({{{width}{{{bit}}}}} {op} ({operand}))"
+
+    def _reduction_expr(self, sources: List[_SignalRef], width: int, depth: int) -> str:
+        """A reduction-operator select feeding a mux."""
+        op = self.rng.choice(["&", "|", "^", "~&", "~|", "~^"])
+        ref = self.rng.choice(sources)
+        a = self._expression(sources, width, max(depth - 1, 0))
+        b = self._expression(sources, width, max(depth - 1, 0))
+        return f"(({op}{ref.name}) ? ({a}) : ({b}))"
+
+    def _rich_compare_expr(self, sources: List[_SignalRef], width: int, depth: int) -> str:
+        """Comparison/logical operators outside the fixed designs' alphabet."""
+        op = self.rng.choice(["!=", ">", ">=", "&&", "||"])
+        a = self._expression(sources, width, max(depth - 1, 0))
+        b = self._expression(sources, width, max(depth - 1, 0))
+        cmp_wire = self._emit_wire(1, f"({a}) {op} ({b})")
+        value = self._expression(sources, width, max(depth - 1, 0))
+        return f"({cmp_wire} ? ({value}) : (~({value})))"
 
     # -- expressions ---------------------------------------------------------
 
@@ -350,6 +476,15 @@ class _DesignWriter:
 
     def _expression(self, sources: List[_SignalRef], width: int, depth: int) -> str:
         """Generate a random expression string of ``width`` bits."""
+        if depth > 0:
+            # Optional fuzz-corpus constructs; every branch is gated by
+            # _maybe so the default config draws nothing here.
+            if self._maybe(self.config.replicate_probability):
+                return self._replicate_expr(sources, width, depth)
+            if self._maybe(self.config.reduction_probability):
+                return self._reduction_expr(sources, width, depth)
+            if self._maybe(self.config.rich_compare_probability):
+                return self._rich_compare_expr(sources, width, depth)
         if depth <= 0 or (depth < self.spec.expr_depth and self.rng.random() < 0.25):
             return self._coerce(self.rng.choice(sources), width)
 

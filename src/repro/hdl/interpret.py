@@ -23,6 +23,7 @@ from repro.hdl.ast_nodes import (
     Ternary,
     UnaryOp,
 )
+from repro.faults import fault_active
 from repro.hdl.design import AnalysisError, Design, expression_width
 
 
@@ -187,6 +188,11 @@ class Interpreter:
         if op in ("~^", "^~"):
             return (~(left ^ right)) & _mask(width)
         if op == "+":
+            if fault_active("interpret.add"):
+                # Debug fault point: an off-by-one adder must diverge from
+                # the bit-blasted ripple-carry adder under the fuzz
+                # campaign's interpreter-vs-simulation oracle.
+                return (left + right + 1) & _mask(width)
             return (left + right) & _mask(width)
         if op == "-":
             return (left - right) & _mask(width)

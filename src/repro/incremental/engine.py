@@ -37,6 +37,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 import numpy as np
 
+from repro.faults import fault_active
 from repro.incremental.patches import TimingPatch
 from repro.runtime import report as report_mod
 from repro.sta.constraints import ClockConstraint
@@ -154,7 +155,11 @@ class IncrementalSTA:
                 total += cell.input_cap
         for cap in endpoint_caps.get(vertex_id, ()):
             total += cap
-        total += vertices[vertex_id].extra_load
+        if not fault_active("incremental.extra_load"):
+            # Debug fault point: dropping the extra-load term makes this
+            # path disagree with compute_loads, which the fuzz campaign's
+            # incremental-vs-full oracle must catch (see repro.faults).
+            total += vertices[vertex_id].extra_load
         return total
 
     def _propagate(self, patches: Sequence[TimingPatch]) -> STAReport:

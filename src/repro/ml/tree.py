@@ -30,6 +30,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.faults import fault_active
 from repro.ml.base import Estimator, as_1d_array, as_2d_array
 
 #: Environment variable overriding the histogram bin budget per feature.
@@ -495,6 +496,14 @@ class DecisionTreeRegressor(Estimator):
             return None
         feature = int(candidates[position])
         cut_index = int(best_cut[position])
+        if fault_active("gbm.hist_threshold") and cut_index + 1 < len(
+            context.binned.cuts[feature]
+        ):
+            # Debug fault point: shifting the chosen cut one bin over
+            # re-partitions the node's rows, so the hist splitter diverges
+            # from the exact splitter under the fuzz campaign's
+            # hist-vs-exact oracle (see repro.faults).
+            cut_index += 1
         return feature, cut_index, float(context.binned.cuts[feature][cut_index])
 
     # -- exact splitter ----------------------------------------------------------

@@ -1,13 +1,44 @@
-"""Shared fixtures: small designs and dataset records reused across tests."""
+"""Shared fixtures: small designs and dataset records reused across tests.
+
+Also registers the Hypothesis profiles: the default ``ci`` profile is
+derandomized (fixed seed, reproducible failures), has no deadline (CI
+machines are noisy), and draws a uniform example budget that the
+``REPRO_HYPOTHESIS_SCALE`` environment knob scales across *all* property
+tests at once (e.g. ``REPRO_HYPOTHESIS_SCALE=4`` for a deeper local run).
+Select the randomized profile with ``HYPOTHESIS_PROFILE=dev``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.core.dataset import DatasetConfig, DesignRecord, build_design_record
 from repro.hdl.design import analyze
 from repro.hdl.generate import DesignSpec
 from repro.hdl.parser import parse_source
+
+#: Per-test example budget before scaling (uniform across the suite).
+BASE_MAX_EXAMPLES = 25
+
+
+def _scaled_max_examples() -> int:
+    try:
+        scale = float(os.environ.get("REPRO_HYPOTHESIS_SCALE", "1"))
+    except ValueError:
+        scale = 1.0
+    return max(1, int(round(BASE_MAX_EXAMPLES * scale)))
+
+
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, deadline=None, max_examples=_scaled_max_examples()
+)
+hypothesis_settings.register_profile(
+    "dev", deadline=None, max_examples=_scaled_max_examples()
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 SIMPLE_VERILOG = """

@@ -8,7 +8,7 @@ stimulus, the next-state values computed by (a) the word-level interpreter,
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.bog.builder import bit_name, build_sog
@@ -93,9 +93,6 @@ def test_convert_unknown_variant_rejected(simple_design):
     sog = build_sog(simple_design)
     with pytest.raises(ValueError):
         convert(sog, "bdd")
-
-
-@settings(max_examples=15, deadline=None)
 @given(
     a=st.integers(min_value=0, max_value=255),
     b=st.integers(min_value=0, max_value=255),

@@ -1,7 +1,7 @@
 """Tests for the Boolean operator graph data structure."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.bog.graph import BOG
@@ -122,9 +122,6 @@ class TestQueries:
         fanouts = g.fanouts()
         a = g.sources["a"]
         assert any(y_ in fanouts[a] for y_ in range(len(g)))
-
-
-@settings(max_examples=50, deadline=None)
 @given(values=st.lists(st.booleans(), min_size=2, max_size=6))
 def test_folding_preserves_and_semantics(values):
     """AND chains built through the folding constructor evaluate correctly."""

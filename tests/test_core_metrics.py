@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.metrics import (
@@ -82,9 +82,6 @@ def test_ranking_coverage_degrades_with_shuffling():
 def test_regression_metrics_bundle_keys():
     metrics = regression_metrics([1.0, 2.0, 3.0], [1.1, 2.1, 2.9])
     assert set(metrics) == {"r", "r2", "mape", "covr"}
-
-
-@settings(max_examples=50, deadline=None)
 @given(
     st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=3, max_size=50),
     st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=3, max_size=50),
@@ -93,18 +90,12 @@ def test_pearson_r_bounded(a, b):
     n = min(len(a), len(b))
     value = pearson_r(a[:n], b[:n])
     assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
-
-
-@settings(max_examples=50, deadline=None)
 @given(st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=4, max_size=60))
 def test_covr_is_percentage(values):
     rng = np.random.default_rng(1)
     predictions = rng.permutation(np.array(values))
     coverage = ranking_coverage(values, predictions)
     assert 0.0 <= coverage <= 100.0
-
-
-@settings(max_examples=30, deadline=None)
 @given(st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=3, max_size=30))
 def test_r2_never_exceeds_one(values):
     labels = np.array(values)

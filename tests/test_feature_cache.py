@@ -149,6 +149,66 @@ class TestFoldCollapse:
         assert report.counters["feature_cache_hits"] == total_calls - unique
 
 
+class TestFailurePaths:
+    def test_corrupted_disk_entry_recomputes_and_repairs(self, tiny_record):
+        """A torn on-disk entry must fall back to extraction and be rewritten."""
+        sampling = SamplingConfig()
+        first = extract_path_dataset(tiny_record, "sog", sampling)
+        cache = path_feature_cache()
+        key = path_dataset_key(tiny_record, "sog", sampling, None)
+        entry = cache.disk.path_for(key)
+        assert entry.exists()
+        entry.write_bytes(b"\x80\x04 definitely not a pickle")
+        cache.clear()  # force the lookup through the (corrupt) disk layer
+        report = RuntimeReport()
+        with activate(report):
+            second = extract_path_dataset(tiny_record, "sog", sampling)
+        _datasets_equal(first, second)
+        assert report.stage_calls[EXTRACT_STAGE] == 1  # recomputed, not served
+        assert report.counters["feature_disk_corrupt"] == 1
+        # The entry was repaired in place: a fresh cold lookup hits disk again.
+        cache.clear()
+        report = RuntimeReport()
+        with activate(report):
+            third = extract_path_dataset(tiny_record, "sog", sampling)
+        _datasets_equal(first, third)
+        assert EXTRACT_STAGE not in report.stage_calls
+        assert report.counters["feature_disk_hits"] == 1
+
+    def test_lru_eviction_order_under_interleaved_fold_access(self):
+        """Fold-style interleaved reuse keeps hot entries, evicts stale folds."""
+        cache = PathFeatureCache(max_entries=3, disk=False)
+        extractions = []
+
+        def extractor(key):
+            def run():
+                extractions.append(key)
+                return f"dataset-{key}"
+
+            return run
+
+        # Fold 1 touches a,b,c; fold 2 re-touches a,c (b now coldest), then
+        # brings in d, which must evict exactly b.
+        for key in ("a", "b", "c", "a", "c"):
+            cache.get_or_extract(key, extractor(key))
+        cache.get_or_extract("d", extractor("d"))
+        assert extractions == ["a", "b", "c", "d"]
+        assert cache.get_or_extract("a", extractor("a")) == "dataset-a"
+        assert cache.get_or_extract("c", extractor("c")) == "dataset-c"
+        assert extractions == ["a", "b", "c", "d"]  # a and c were retained
+        assert cache.get_or_extract("b", extractor("b")) == "dataset-b"
+        assert extractions == ["a", "b", "c", "d", "b"]  # b was the eviction
+
+    def test_unwritable_disk_layer_degrades_to_memory(self, tiny_record, tmp_path):
+        """A read-only cache directory must not break extraction."""
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        cache = PathFeatureCache(directory=blocked / "features", disk=True)
+        value = cache.get_or_extract("key", lambda: "computed")
+        assert value == "computed"
+        assert cache.get_or_extract("key", lambda: "recomputed") == "computed"
+
+
 class TestEviction:
     def test_memory_layer_bounded(self, tiny_records):
         cache = PathFeatureCache(max_entries=2, disk=False)

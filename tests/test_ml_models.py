@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ml import (
@@ -68,8 +68,6 @@ class TestLosses:
         values = np.array([1.0, 2.0])
         groups = np.array([0, 0])
         assert list(group_argmax(values, groups, n_groups=3)) == [1, -1, -1]
-
-    @settings(max_examples=40, deadline=None)
     @given(
         values=st.lists(st.floats(-50, 50), min_size=1, max_size=30),
         n_groups=st.integers(min_value=1, max_value=5),
@@ -84,8 +82,6 @@ class TestLosses:
                 best_value[group] = value
                 expected[group] = row
         assert list(group_argmax(values, groups, n_groups)) == list(expected)
-
-    @settings(max_examples=40, deadline=None)
     @given(
         values=st.lists(st.floats(-50, 50), min_size=3, max_size=12),
         n_groups=st.integers(min_value=1, max_value=3),

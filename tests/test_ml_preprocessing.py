@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ml import MinMaxScaler, StandardScaler, TargetScaler, group_kfold, leave_one_group_out, train_test_split
@@ -79,9 +79,6 @@ def test_leave_one_group_out():
     for train_idx, test_idx, group in folds:
         assert all(groups[i] == group for i in test_idx)
         assert all(groups[i] != group for i in train_idx)
-
-
-@settings(max_examples=30, deadline=None)
 @given(st.lists(st.floats(-1e3, 1e3), min_size=5, max_size=40, unique=True))
 def test_standard_scaler_is_monotone(values):
     X = np.array(values).reshape(-1, 1)

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ml import (
@@ -366,8 +366,50 @@ class TestFlatPredict:
         tree = DecisionTreeRegressor(max_depth=0).fit(X, y)
         assert np.allclose(tree.predict(np.random.default_rng(0).normal(size=(5, 2))), 3.5)
 
+    @pytest.mark.parametrize("splitter", ["hist", "exact"])
+    def test_single_leaf_flat_matches_recursive(self, splitter):
+        """A one-node FlatTree routes nothing and still mirrors the reference."""
+        X = np.arange(12, dtype=float).reshape(-1, 2)
+        y = np.full(6, -2.25)
+        tree = DecisionTreeRegressor(splitter=splitter, max_depth=4).fit(X, y)
+        assert tree.flat_.n_nodes == 1
+        fresh = np.random.default_rng(1).normal(size=(7, 2))
+        assert np.array_equal(tree.predict(fresh), tree.predict_recursive(fresh))
 
-@settings(max_examples=25, deadline=None)
+    @pytest.mark.parametrize("splitter", ["hist", "exact"])
+    def test_empty_predict_matrix(self, splitter, regression_data):
+        """Predicting zero rows returns an empty vector, bit-identical paths."""
+        X, y = regression_data
+        tree = DecisionTreeRegressor(splitter=splitter, max_depth=4).fit(X, y)
+        empty = np.empty((0, X.shape[1]))
+        flat = tree.predict(empty)
+        recursive = tree.predict_recursive(empty)
+        assert flat.shape == recursive.shape == (0,)
+        assert np.array_equal(flat, recursive)
+
+    @pytest.mark.parametrize("splitter", ["hist", "exact"])
+    def test_all_constant_feature_column_never_split(self, splitter):
+        """A constant column offers no cut; both predict paths still agree."""
+        rng = np.random.default_rng(21)
+        X = np.column_stack([np.full(120, 7.5), rng.normal(size=120)])
+        y = 3.0 * X[:, 1] + rng.normal(size=120) * 0.1
+        tree = DecisionTreeRegressor(splitter=splitter, max_depth=5).fit(X, y)
+        assert not np.any(tree.flat_.feature == 0), "constant column must never split"
+        assert np.array_equal(tree.predict(X), tree.predict_recursive(X))
+
+    @pytest.mark.parametrize("splitter", ["hist", "exact"])
+    @pytest.mark.parametrize("max_depth", [1, 2])
+    def test_depth_limit_boundary(self, splitter, max_depth, regression_data):
+        """At the depth cap the deepest interior node still flattens correctly."""
+        X, y = regression_data
+        tree = DecisionTreeRegressor(
+            splitter=splitter, max_depth=max_depth, min_samples_leaf=1
+        ).fit(X, y)
+        assert tree.depth() == max_depth
+        assert tree.flat_.n_nodes <= 2 ** (max_depth + 1) - 1
+        fresh = np.random.default_rng(22).normal(size=(150, X.shape[1]))
+        assert np.array_equal(tree.predict(X), tree.predict_recursive(X))
+        assert np.array_equal(tree.predict(fresh), tree.predict_recursive(fresh))
 @given(
     st.lists(
         st.tuples(st.floats(-100, 100), st.floats(-100, 100)), min_size=10, max_size=40

@@ -1,7 +1,7 @@
 """Tests for the STA engine, constraints and path tracing."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.bog.builder import build_sog
@@ -172,9 +172,6 @@ class TestNetworkStructure:
         network.add_vertex(VertexKind.GATE, fanins=[a], cell=None)
         with pytest.raises(ValueError):
             network.validate()
-
-
-@settings(max_examples=20, deadline=None)
 @given(period=st.floats(min_value=100.0, max_value=2000.0))
 def test_tns_never_positive_and_wns_bounds_tns(period, simple_design):
     network = from_bog(build_sog(simple_design))
