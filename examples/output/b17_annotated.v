@@ -1,5 +1,5 @@
 // Tech: NanGate45-like (synthetic)
-// Predicted WNS: -158.9ps, TNS: -928.4ps
+// Predicted WNS: -158.9ps, TNS: -1011.3ps
 // Annotated by RTL-Timer reproduction (per-signal predicted slack and rank group)
 // Synthetic benchmark design: b17
 // family=itc99 hdl=VHDL seed=201
@@ -19,76 +19,76 @@ module b17 (
   output [7:0] out_data0;
   output out_flag;
 
-  reg ctrl_r0;  // (ctrl_r0) Slack@459.9ps rank@g4
-  reg ctrl_r1;  // (ctrl_r1) Slack@237.5ps rank@g3
-  reg ctrl_r2;  // (ctrl_r2) Slack@344.4ps rank@g4
-  reg ctrl_r3;  // (ctrl_r3) Slack@237.5ps rank@g3
-  reg ctrl_r4;  // (ctrl_r4) Slack@344.4ps rank@g4
-  reg ctrl_r5;  // (ctrl_r5) Slack@345.8ps rank@g4
-  reg ctrl_r6;  // (ctrl_r6) Slack@278.8ps rank@g3
-  reg ctrl_r7;  // (ctrl_r7) Slack@347.2ps rank@g4
-  reg ctrl_r8;  // (ctrl_r8) Slack@345.8ps rank@g4
-  reg ctrl_r9;  // (ctrl_r9) Slack@345.8ps rank@g4
-  reg [7:0] s0_r0;  // (s0_r0) Slack@175.9ps rank@g3
+  reg ctrl_r0;  // (ctrl_r0) Slack@459.5ps rank@g4
+  reg ctrl_r1;  // (ctrl_r1) Slack@260.3ps rank@g3
+  reg ctrl_r2;  // (ctrl_r2) Slack@342.4ps rank@g4
+  reg ctrl_r3;  // (ctrl_r3) Slack@260.3ps rank@g3
+  reg ctrl_r4;  // (ctrl_r4) Slack@342.4ps rank@g4
+  reg ctrl_r5;  // (ctrl_r5) Slack@345.5ps rank@g4
+  reg ctrl_r6;  // (ctrl_r6) Slack@280.3ps rank@g3
+  reg ctrl_r7;  // (ctrl_r7) Slack@345.5ps rank@g4
+  reg ctrl_r8;  // (ctrl_r8) Slack@345.5ps rank@g4
+  reg ctrl_r9;  // (ctrl_r9) Slack@345.5ps rank@g4
+  reg [7:0] s0_r0;  // (s0_r0) Slack@164.8ps rank@g3
   wire w0;
   wire [7:0] w1;
-  reg [7:0] s0_r1;  // (s0_r1) Slack@-18.2ps rank@g2
+  reg [7:0] s0_r1;  // (s0_r1) Slack@-2.1ps rank@g2
   wire w2;
   wire [7:0] w3;
-  reg [7:0] s0_r2;  // (s0_r2) Slack@264.6ps rank@g3
+  reg [7:0] s0_r2;  // (s0_r2) Slack@284.5ps rank@g3
   wire [7:0] w4;
-  reg [7:0] s0_r3;  // (s0_r3) Slack@300.0ps rank@g4
+  reg [7:0] s0_r3;  // (s0_r3) Slack@302.2ps rank@g4
   wire [7:0] w5;
-  reg [7:0] s0_r4;  // (s0_r4) Slack@161.9ps rank@g2
+  reg [7:0] s0_r4;  // (s0_r4) Slack@151.8ps rank@g2
   wire w6;
   wire [7:0] w7;
-  reg [7:0] s0_r5;  // (s0_r5) Slack@117.9ps rank@g2
+  reg [7:0] s0_r5;  // (s0_r5) Slack@114.9ps rank@g2
   wire [7:0] w8;
-  reg [7:0] s1_r0;  // (s1_r0) Slack@-32.2ps rank@g1
+  reg [7:0] s1_r0;  // (s1_r0) Slack@-59.9ps rank@g1
   wire w9;
   wire w10;
   wire [7:0] w11;
-  reg [7:0] s1_r1;  // (s1_r1) Slack@224.5ps rank@g3
+  reg [7:0] s1_r1;  // (s1_r1) Slack@214.1ps rank@g3
   wire [7:0] w12;
-  reg [7:0] s1_r2;  // (s1_r2) Slack@205.1ps rank@g3
+  reg [7:0] s1_r2;  // (s1_r2) Slack@203.3ps rank@g3
   wire [7:0] w13;
-  reg [7:0] s1_r3;  // (s1_r3) Slack@260.2ps rank@g3
+  reg [7:0] s1_r3;  // (s1_r3) Slack@261.8ps rank@g3
   wire [7:0] w14;
-  reg [7:0] s1_r4;  // (s1_r4) Slack@302.2ps rank@g4
+  reg [7:0] s1_r4;  // (s1_r4) Slack@284.3ps rank@g4
   wire [7:0] w15;
-  reg [7:0] s1_r5;  // (s1_r5) Slack@-51.1ps rank@g2
+  reg [7:0] s1_r5;  // (s1_r5) Slack@-56.9ps rank@g2
   wire w16;
   wire w17;
   wire [7:0] w18;
-  reg [7:0] s2_r0;  // (s2_r0) Slack@321.1ps rank@g4
+  reg [7:0] s2_r0;  // (s2_r0) Slack@320.8ps rank@g4
   wire [7:0] w19;
-  reg [7:0] s2_r1;  // (s2_r1) Slack@-34.9ps rank@g2
+  reg [7:0] s2_r1;  // (s2_r1) Slack@-43.5ps rank@g2
   wire w20;
   wire [7:0] w21;
-  reg [7:0] s2_r2;  // (s2_r2) Slack@122.8ps rank@g2
+  reg [7:0] s2_r2;  // (s2_r2) Slack@93.5ps rank@g2
   wire w22;
   wire w23;
   wire [7:0] w24;
-  reg [7:0] s2_r3;  // (s2_r3) Slack@-51.1ps rank@g2
+  reg [7:0] s2_r3;  // (s2_r3) Slack@-60.5ps rank@g2
   wire w25;
   wire [7:0] w26;
-  reg [7:0] s2_r4;  // (s2_r4) Slack@119.5ps rank@g2
+  reg [7:0] s2_r4;  // (s2_r4) Slack@113.0ps rank@g2
   wire w27;
   wire [7:0] w28;
-  reg [7:0] s2_r5;  // (s2_r5) Slack@238.3ps rank@g3
+  reg [7:0] s2_r5;  // (s2_r5) Slack@232.3ps rank@g3
   wire [7:0] w29;
-  reg [7:0] s3_r0;  // (s3_r0) Slack@-55.8ps rank@g1
+  reg [7:0] s3_r0;  // (s3_r0) Slack@-57.8ps rank@g1
   wire [7:0] w30;
-  reg [7:0] s3_r1;  // (s3_r1) Slack@130.5ps rank@g2
+  reg [7:0] s3_r1;  // (s3_r1) Slack@134.4ps rank@g2
   wire w31;
   wire [7:0] w32;
-  reg [7:0] s3_r2;  // (s3_r2) Slack@163.4ps rank@g2
+  reg [7:0] s3_r2;  // (s3_r2) Slack@150.5ps rank@g2
   wire [7:0] w33;
-  reg [7:0] s3_r3;  // (s3_r3) Slack@163.4ps rank@g2
+  reg [7:0] s3_r3;  // (s3_r3) Slack@178.0ps rank@g2
   wire [7:0] w34;
-  reg [7:0] s3_r4;  // (s3_r4) Slack@161.1ps rank@g2
+  reg [7:0] s3_r4;  // (s3_r4) Slack@153.6ps rank@g2
   wire [7:0] w35;
-  reg [7:0] s3_r5;  // (s3_r5) Slack@255.2ps rank@g3
+  reg [7:0] s3_r5;  // (s3_r5) Slack@246.7ps rank@g3
   wire [7:0] w36;
   wire [7:0] out_data0;
   wire out_flag;

@@ -1,12 +1,15 @@
 """Quickstart: predict fine-grained RTL timing for your own Verilog.
 
-Trains RTL-Timer on a handful of generated benchmark designs and then
-predicts per-signal slack, criticality ranking and overall WNS/TNS for a
-small user-provided Verilog module — all before any synthesis of that module
-is run.
+Trains RTL-Timer **once** on a handful of generated benchmark designs,
+saves the fitted model as a single-file bundle, and from then on loads it
+back (bit-identical predictions, no re-training) to predict per-signal
+slack, criticality ranking and overall WNS/TNS for a small user-provided
+Verilog module — all before any synthesis of that module is run.
 
 Run with:  python examples/quickstart.py
 """
+
+from pathlib import Path
 
 from repro.core import (
     BitwiseConfig,
@@ -18,6 +21,9 @@ from repro.core import (
     build_design_record,
 )
 from repro.hdl.generate import BENCHMARK_SPECS
+
+#: Where the fitted model bundle lands (delete it to force a re-train).
+BUNDLE_PATH = Path(__file__).parent / "output" / "quickstart_model.bundle"
 
 USER_VERILOG = """
 module accumulator (clk, start, in_a, in_b, mode, out_sum, out_flag);
@@ -51,7 +57,7 @@ endmodule
 """
 
 
-def main() -> None:
+def train_and_save() -> RTLTimer:
     print("Building training dataset (8 generated benchmark designs)...")
     train_records = build_dataset(BENCHMARK_SPECS[:8])
 
@@ -62,6 +68,20 @@ def main() -> None:
         overall=OverallConfig(n_estimators=30),
     )
     timer = RTLTimer(config).fit(train_records)
+
+    bundle_id = timer.save(BUNDLE_PATH)
+    print(f"Saved the fitted model to {BUNDLE_PATH} (bundle {bundle_id[:12]}).")
+    return timer
+
+
+def main() -> None:
+    if BUNDLE_PATH.exists():
+        # Reloaded models predict bit-identically to the fitted original —
+        # the whole point of the save/load boundary is never training twice.
+        print(f"Loading the fitted model from {BUNDLE_PATH} (no re-training)...")
+        timer = RTLTimer.load(BUNDLE_PATH)
+    else:
+        timer = train_and_save()
 
     print("Evaluating the user design (no synthesis of the user RTL is needed)...")
     record = build_design_record(USER_VERILOG, name="accumulator")

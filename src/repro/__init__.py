@@ -8,11 +8,18 @@ library, logic synthesis, static timing analysis, placement, and the ML
 models (boosted trees, MLP, transformer, LambdaMART, GNN) implemented on
 numpy.
 
-Public entry points:
+Public entry points (see ``docs/api.md`` for the full reference):
 
-* :class:`repro.core.RTLTimer` -- the fine-grained timing estimator,
+* :class:`repro.core.RTLTimer` -- the fine-grained timing estimator, with
+  ``save`` / ``load`` persistence and ``what_if`` projections,
 * :func:`repro.core.build_dataset` -- benchmark suite + label generation
   (parallel + cached via :mod:`repro.runtime`),
+* :mod:`repro.serve` -- the serving layer: versioned model registry
+  (``save_model`` / ``load_model``), the micro-batching
+  :class:`~repro.serve.TimingService` and the JSON-over-HTTP server,
+* :mod:`repro.cli` -- the unified ``python -m repro`` command line
+  (``train`` / ``predict`` / ``whatif`` / ``serve`` / ``dataset`` /
+  ``fuzz``),
 * :func:`repro.core.run_optimization_experiment` -- prediction-driven
   ``group_path`` / ``retime`` synthesis optimization,
 * :func:`repro.core.run_optimization_sweep` -- its multi-candidate
@@ -21,6 +28,7 @@ Public entry points:
   :class:`~repro.incremental.IncrementalSTA` and the what-if projection,
 * :mod:`repro.runtime` -- the execution engine: process-pool fan-out,
   content-addressed artifact caching, structured runtime reports,
+* :mod:`repro.fuzz` -- cross-stack differential fuzzing,
 * :mod:`repro.hdl`, :mod:`repro.bog`, :mod:`repro.synth`, :mod:`repro.sta`,
   :mod:`repro.physical`, :mod:`repro.ml` -- the substrates.
 """

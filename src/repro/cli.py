@@ -1,0 +1,319 @@
+"""Unified ``python -m repro`` command-line interface.
+
+One entry point for the whole train-once/serve-many workflow::
+
+    python -m repro train --designs 8 --name mymodel     # fit + register
+    python -m repro predict --model mymodel design.v     # one-shot inference
+    python -m repro whatif  --model mymodel design.v     # option projections
+    python -m repro serve   --model mymodel --port 8421  # HTTP service
+    python -m repro dataset --designs 21                 # benchmark suite stats
+    python -m repro fuzz --seed 0 --iterations 25        # differential fuzzing
+
+``train`` stores fitted models in the content-addressed registry
+(``REPRO_MODEL_DIR``, default ``<cache dir>/models``); ``predict``,
+``whatif`` and ``serve`` load them back — bit-identical to the fitted
+original — so no command ever re-trains implicitly.  ``fuzz`` delegates to
+the pre-existing :mod:`repro.fuzz` runner unchanged.
+
+See ``docs/serving.md`` for the deployment knobs and ``docs/api.md`` for
+the underlying python API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.runtime import report as report_mod
+
+#: Default model name used by ``train`` / ``predict`` / ``serve``.
+DEFAULT_MODEL_NAME = "rtl-timer"
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _registry(args):
+    from repro.serve.registry import ModelRegistry
+
+    return ModelRegistry(args.registry) if args.registry else ModelRegistry()
+
+
+def _train_config(args):
+    """Translate CLI knobs into an :class:`RTLTimerConfig`."""
+    from repro.core import BitwiseConfig, OverallConfig, RTLTimerConfig, SignalwiseConfig
+
+    fast = args.fast
+    estimators = args.estimators or (20 if fast else 60)
+    return RTLTimerConfig(
+        bitwise=BitwiseConfig(
+            n_estimators=estimators,
+            max_depth=5 if fast else 6,
+            max_train_endpoints_per_design=80 if fast else 250,
+            seed=args.seed,
+        ),
+        signalwise=SignalwiseConfig(
+            n_estimators=estimators,
+            ranker_estimators=max(estimators // 2, 10) if fast else 80,
+            seed=args.seed,
+        ),
+        overall=OverallConfig(n_estimators=max(estimators // 2, 10), seed=args.seed),
+    )
+
+
+def _load_source_record(args, source_path: str):
+    """Elaborate (or cache-load) the record for a Verilog file argument."""
+    from repro.core.dataset import build_design_record
+    from repro.runtime.cache import ArtifactCache, record_key
+
+    path = Path(source_path)
+    source = path.read_text()
+    name = args.design_name or path.stem
+    cache = ArtifactCache()
+    return cache.load_or_build(
+        record_key(source, None, name), lambda: build_design_record(source, name=name)
+    )
+
+
+def _emit(payload: dict, out: Optional[str]) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=False)
+    if out:
+        Path(out).write_text(text + "\n")
+    else:
+        print(text)
+
+
+def _maybe_write_report(report, path: Optional[str]) -> None:
+    if path:
+        destination = report.write(path)
+        print(f"runtime report: {destination}", file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_train(args) -> int:
+    from repro.core import RTLTimer, build_dataset
+    from repro.hdl.generate import BENCHMARK_SPECS
+
+    specs = BENCHMARK_SPECS[: args.designs] if args.designs else BENCHMARK_SPECS
+    report = report_mod.RuntimeReport(meta={"command": "train", "designs": len(specs)})
+    registry = _registry(args)
+    with report_mod.activate(report):
+        with report.stage("train.build_dataset"):
+            records = build_dataset(specs, report=report)
+        with report.stage("train.fit"):
+            timer = RTLTimer(_train_config(args)).fit(records)
+        manifest = registry.save(
+            timer,
+            args.name,
+            metadata={"cli": True, "fast": args.fast, "designs": len(records)},
+        )
+    if args.out:
+        timer.save(args.out)
+        print(f"bundle file: {args.out}", file=sys.stderr)
+    _emit(
+        {
+            "name": args.name,
+            "bundle_id": manifest["bundle_id"],
+            "registry": str(registry.directory),
+            "training_designs": manifest["training_designs"],
+            "fit_seconds": round(report.stage_seconds("train.fit"), 3),
+        },
+        None,
+    )
+    _maybe_write_report(report, args.bench_out)
+    return 0
+
+
+def cmd_predict(args) -> int:
+    from repro.serve.http import prediction_to_json
+
+    report = report_mod.RuntimeReport(meta={"command": "predict"})
+    with report_mod.activate(report):
+        timer = _registry(args).load(args.model)
+        record = _load_source_record(args, args.source)
+        with report.stage("serve.predict"):
+            prediction = timer.predict(record)
+    _emit(prediction_to_json(prediction), args.out)
+    _maybe_write_report(report, args.bench_out)
+    return 0
+
+
+def cmd_whatif(args) -> int:
+    report = report_mod.RuntimeReport(meta={"command": "whatif"})
+    with report_mod.activate(report):
+        timer = _registry(args).load(args.model)
+        record = _load_source_record(args, args.source)
+        with report.stage("serve.whatif"):
+            estimates = timer.what_if(record, k=args.k)
+    _emit(
+        {
+            "design": record.name,
+            "candidates": [
+                {
+                    "index": index,
+                    **{key: round(value, 6) for key, value in estimate.as_row().items()},
+                    "uses_grouping": estimate.options.uses_grouping,
+                    "uses_retiming": estimate.options.uses_retiming,
+                }
+                for index, estimate in enumerate(estimates)
+            ],
+        },
+        args.out,
+    )
+    _maybe_write_report(report, args.bench_out)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve.http import start_server
+    from repro.serve.service import ServeConfig, TimingService
+
+    registry = _registry(args)
+    timer, manifest = registry.load_with_manifest(args.model)
+    service = TimingService(
+        timer,
+        ServeConfig(
+            max_batch=args.max_batch,
+            batch_window_s=args.batch_window_ms / 1000.0,
+        ),
+        manifest=manifest,
+    )
+    server = start_server(service, host=args.host, port=args.port, verbose=args.verbose)
+    host, port = server.server_address
+    print(
+        f"serving model {args.model!r} (bundle {manifest['bundle_id'][:12]}) "
+        f"on http://{host}:{port} — endpoints: /predict /whatif /health /metrics",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        service.close()
+        _maybe_write_report(service.runtime_report(), args.bench_out)
+    return 0
+
+
+def cmd_dataset(args) -> int:
+    from repro.core import build_dataset, dataset_summary
+    from repro.hdl.generate import BENCHMARK_SPECS
+
+    specs = BENCHMARK_SPECS[: args.designs] if args.designs else BENCHMARK_SPECS
+    report = report_mod.RuntimeReport(meta={"command": "dataset", "designs": len(specs)})
+    with report_mod.activate(report):
+        records = build_dataset(specs, jobs=args.jobs, report=report)
+    summary = dataset_summary(records)
+    if args.json:
+        _emit({"designs": summary}, args.out)
+    else:
+        def fmt(value) -> str:
+            return f"{value:.1f}" if isinstance(value, float) else str(value)
+
+        columns = list(summary[0]) if summary else []
+        widths = {
+            column: max(len(column), *(len(fmt(row[column])) for row in summary))
+            for column in columns
+        }
+        print("  ".join(column.ljust(widths[column]) for column in columns))
+        for row in summary:
+            print("  ".join(fmt(row[c]).ljust(widths[c]) for c in columns))
+    _maybe_write_report(report, args.bench_out)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="RTL-Timer reproduction: train, predict, what-if, serve, fuzz.",
+    )
+    subparsers = parser.add_subparsers(dest="command", metavar="COMMAND")
+
+    def common_model_args(sub, with_source: bool) -> None:
+        sub.add_argument(
+            "--model", default=DEFAULT_MODEL_NAME,
+            help=f"model name, name@version or bundle id (default {DEFAULT_MODEL_NAME!r})",
+        )
+        sub.add_argument("--registry", default=None, help="registry dir (default $REPRO_MODEL_DIR)")
+        sub.add_argument("--bench-out", default=None, help="write a BENCH_runtime.json report here")
+        if with_source:
+            sub.add_argument("source", help="Verilog source file to evaluate")
+            sub.add_argument("--design-name", default=None, help="design name (default: file stem)")
+            sub.add_argument("--out", default=None, help="write the JSON result here (default stdout)")
+
+    train = subparsers.add_parser("train", help="fit RTL-Timer and register the model")
+    train.add_argument("--designs", type=int, default=8, help="training designs from the benchmark suite (default 8)")
+    train.add_argument("--name", default=DEFAULT_MODEL_NAME, help=f"registry name (default {DEFAULT_MODEL_NAME!r})")
+    train.add_argument("--registry", default=None, help="registry dir (default $REPRO_MODEL_DIR)")
+    train.add_argument("--estimators", type=int, default=None, help="boosting rounds per stage")
+    train.add_argument("--fast", action="store_true", help="small fast-training preset")
+    train.add_argument("--seed", type=int, default=0, help="model seed (default 0)")
+    train.add_argument("--out", default=None, help="also write a single-file bundle here")
+    train.add_argument("--bench-out", default=None, help="write a BENCH_runtime.json report here")
+    train.set_defaults(handler=cmd_train)
+
+    predict = subparsers.add_parser("predict", help="predict fine-grained timing for a Verilog file")
+    common_model_args(predict, with_source=True)
+    predict.set_defaults(handler=cmd_predict)
+
+    whatif = subparsers.add_parser("whatif", help="project synthesis option candidates incrementally")
+    common_model_args(whatif, with_source=True)
+    whatif.add_argument("--k", type=int, default=8, help="number of candidate option sets (default 8)")
+    whatif.set_defaults(handler=cmd_whatif)
+
+    serve = subparsers.add_parser("serve", help="serve a registered model over JSON/HTTP")
+    common_model_args(serve, with_source=False)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8421, help="bind port (default 8421; 0 = OS-assigned)")
+    serve.add_argument("--max-batch", type=int, default=16, help="max requests fused per model pass")
+    serve.add_argument("--batch-window-ms", type=float, default=5.0, help="micro-batch window (default 5 ms)")
+    serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    serve.set_defaults(handler=cmd_serve)
+
+    dataset = subparsers.add_parser("dataset", help="build the benchmark dataset and print its summary")
+    dataset.add_argument("--designs", type=int, default=None, help="number of designs (default: all 21)")
+    dataset.add_argument("--jobs", type=int, default=None, help="worker processes (default $REPRO_JOBS)")
+    dataset.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    dataset.add_argument("--out", default=None, help="write the JSON result here (default stdout)")
+    dataset.add_argument("--bench-out", default=None, help="write a BENCH_runtime.json report here")
+    dataset.set_defaults(handler=cmd_dataset)
+
+    subparsers.add_parser(
+        "fuzz",
+        help="differential fuzz campaigns (see `python -m repro fuzz --help`)",
+        add_help=False,
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    arguments: List[str] = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "fuzz":
+        # Full pass-through: the fuzz runner owns its (pre-existing) CLI.
+        from repro.fuzz.runner import main as fuzz_main
+
+        return fuzz_main(arguments[1:])
+    parser = build_parser()
+    args = parser.parse_args(arguments)
+    if not getattr(args, "command", None):
+        parser.print_help()
+        return 2
+    return args.handler(args)

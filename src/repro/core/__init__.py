@@ -1,4 +1,22 @@
-"""RTL-Timer core: the paper's primary contribution."""
+"""RTL-Timer core: the paper's primary contribution.
+
+The package re-exports the whole modelling surface (see ``docs/api.md``):
+
+* dataset construction — :func:`build_dataset`, :func:`build_design_record`,
+  :class:`DesignRecord`, path features + sampling,
+* the model stack — :class:`BitwiseArrivalModel` (per-variant path models +
+  representation ensemble), :class:`SignalwiseModel` (signal max-arrival
+  regression + LambdaMART ranking), :class:`OverallTimingModel` (WNS/TNS),
+  all tied together by :class:`RTLTimer`,
+* applications — slack annotation (:func:`annotate_design`),
+  prediction-driven synthesis options and the incremental optimization
+  sweep (:func:`run_optimization_sweep`),
+* metrics mirroring the paper's tables (:func:`regression_metrics`,
+  :func:`ranking_coverage`, ...).
+
+Fitted models persist through ``RTLTimer.save`` / ``RTLTimer.load`` and the
+:mod:`repro.serve` registry; reloaded predictions are bit-identical.
+"""
 
 from repro.core.metrics import (
     DEFAULT_GROUP_FRACTIONS,

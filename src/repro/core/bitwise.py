@@ -28,10 +28,12 @@ from repro.core.features import (
     extract_path_dataset,
 )
 from repro.core.sampling import SamplingConfig
+from repro.core.state import config_from_state, config_to_state
 from repro.ml.gbm import GradientBoostingRegressor
 from repro.ml.losses import GroupedMaxSquaredError, group_max
 from repro.ml.mlp import MLPRegressor
 from repro.ml.preprocessing import StandardScaler, TargetScaler
+from repro.ml.serialize import estimator_from_state, estimator_to_state
 from repro.ml.transformer import TransformerPathRegressor
 
 
@@ -121,6 +123,25 @@ class _VariantPathModel:
             path_scores = self.model_.predict(features)
         maxima = group_max(path_scores, dataset.groups, dataset.n_endpoints)
         return self.target_scaler.inverse_transform(maxima)
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Snapshot the fitted path model (scalers + underlying estimator)."""
+        return {
+            "variant": self.variant,
+            "scaler": self.scaler.to_state(),
+            "target_scaler": self.target_scaler.to_state(),
+            "model": estimator_to_state(self.model_),
+        }
+
+    @classmethod
+    def from_state(cls, config: BitwiseConfig, state: dict) -> "_VariantPathModel":
+        model = cls(config, state["variant"])
+        model.scaler = StandardScaler.from_state(state["scaler"])
+        model.target_scaler = TargetScaler.from_state(state["target_scaler"])
+        model.model_ = estimator_from_state(state["model"])
+        return model
 
 
 class BitwiseArrivalModel:
@@ -255,3 +276,41 @@ class BitwiseArrivalModel:
         labels = [record.labels[n] for n in names]
         values = [predicted[n] for n in names]
         return regression_metrics(labels, values)
+
+    # -- serialization --------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Snapshot the per-variant path models plus the ensemble stage."""
+        if not hasattr(self, "variant_models_"):
+            raise RuntimeError("BitwiseArrivalModel must be fitted before to_state()")
+        state = {
+            "model": "BitwiseArrivalModel",
+            "config": config_to_state(self.config),
+            "variants": {
+                variant: model.to_state()
+                for variant, model in self.variant_models_.items()
+            },
+            "ensemble": None,
+        }
+        if getattr(self, "ensemble_model_", None) is not None:
+            state["ensemble"] = {
+                "scaler": self.ensemble_scaler_.to_state(),
+                "target_scaler": self.ensemble_target_scaler_.to_state(),
+                "model": estimator_to_state(self.ensemble_model_),
+            }
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BitwiseArrivalModel":
+        """Rebuild a fitted model; predictions are bit-identical to the source."""
+        model = cls(config_from_state(state["config"]))
+        model.variant_models_ = {
+            variant: _VariantPathModel.from_state(model.config, variant_state)
+            for variant, variant_state in state["variants"].items()
+        }
+        ensemble = state.get("ensemble")
+        if ensemble is not None:
+            model.ensemble_scaler_ = StandardScaler.from_state(ensemble["scaler"])
+            model.ensemble_target_scaler_ = TargetScaler.from_state(ensemble["target_scaler"])
+            model.ensemble_model_ = estimator_from_state(ensemble["model"])
+        return model

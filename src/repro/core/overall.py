@@ -21,8 +21,10 @@ import numpy as np
 
 from repro.core.dataset import DesignRecord
 from repro.core.features import design_feature_vector
+from repro.core.state import config_from_state, config_to_state
 from repro.ml.gbm import GradientBoostingRegressor
 from repro.ml.preprocessing import StandardScaler, TargetScaler
+from repro.ml.serialize import estimator_from_state, estimator_to_state
 
 FEATURE_MODES = ("full", "sog_only", "design_only")
 
@@ -152,3 +154,30 @@ class OverallTimingModel:
         wns = float(self.wns_scaler_.inverse_transform(self.wns_model_.predict(scaled))[0])
         tns = float(self.tns_scaler_.inverse_transform(self.tns_model_.predict(scaled))[0])
         return {"wns": min(wns, 0.0), "tns": min(tns, 0.0)}
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Snapshot the fitted WNS/TNS models."""
+        if not hasattr(self, "wns_model_"):
+            raise RuntimeError("OverallTimingModel must be fitted before to_state()")
+        return {
+            "model": "OverallTimingModel",
+            "config": config_to_state(self.config),
+            "scaler": self.scaler_.to_state(),
+            "wns_scaler": self.wns_scaler_.to_state(),
+            "tns_scaler": self.tns_scaler_.to_state(),
+            "wns_model": estimator_to_state(self.wns_model_),
+            "tns_model": estimator_to_state(self.tns_model_),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OverallTimingModel":
+        """Rebuild a fitted model; predictions are bit-identical to the source."""
+        model = cls(config_from_state(state["config"]))
+        model.scaler_ = StandardScaler.from_state(state["scaler"])
+        model.wns_scaler_ = TargetScaler.from_state(state["wns_scaler"])
+        model.tns_scaler_ = TargetScaler.from_state(state["tns_scaler"])
+        model.wns_model_ = estimator_from_state(state["wns_model"])
+        model.tns_model_ = estimator_from_state(state["tns_model"])
+        return model

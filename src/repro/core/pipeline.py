@@ -30,6 +30,7 @@ from repro.core.bitwise import BitwiseArrivalModel, BitwiseConfig
 from repro.core.dataset import DesignRecord
 from repro.core.metrics import regression_metrics
 from repro.core.optimize import generate_candidates, options_from_ranking
+from repro.core.state import config_from_state, config_to_state
 from repro.incremental.whatif import evaluate_candidates
 from repro.core.overall import OverallConfig, OverallTimingModel
 from repro.core.signalwise import SignalwiseConfig, SignalwiseModel
@@ -210,6 +211,58 @@ class RTLTimer:
             overall=overall,
             runtime_seconds=runtime,
         )
+
+    # -- persistence --------------------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """Serializable snapshot of the whole fitted stack.
+
+        The state is a plain dict of scalars, lists and numpy arrays — no
+        live estimator objects — and restoring it with :meth:`from_state`
+        yields a timer whose predictions are bit-identical to this one.
+        The exact per-stage configuration (feature, sampling and model
+        knobs) rides along, because predictions are only reproducible under
+        the config the models were trained with.
+        """
+        if not hasattr(self, "training_designs_"):
+            raise RuntimeError("RTLTimer must be fitted before to_state()")
+        return {
+            "model": "RTLTimer",
+            "config": config_to_state(self.config),
+            "bitwise": self.bitwise.to_state(),
+            "signalwise": self.signalwise.to_state(),
+            "overall": self.overall.to_state(),
+            "training_designs": list(self.training_designs_),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "RTLTimer":
+        """Rebuild a fitted timer from a :meth:`to_state` snapshot."""
+        if state.get("model") != "RTLTimer":
+            raise ValueError(f"state is for {state.get('model')!r}, not RTLTimer")
+        timer = cls(config_from_state(state["config"]))
+        timer.bitwise = BitwiseArrivalModel.from_state(state["bitwise"])
+        timer.signalwise = SignalwiseModel.from_state(state["signalwise"])
+        timer.overall = OverallTimingModel.from_state(state["overall"])
+        timer.training_designs_ = list(state.get("training_designs", []))
+        return timer
+
+    def save(self, path) -> "str":
+        """Write this fitted timer as a single-file model bundle at ``path``.
+
+        Returns the bundle id (content hash).  For named, versioned storage
+        use :class:`repro.serve.registry.ModelRegistry` instead.
+        """
+        from repro.serve.registry import write_bundle_file
+
+        return write_bundle_file(self, path)
+
+    @classmethod
+    def load(cls, path) -> "RTLTimer":
+        """Load a timer saved with :meth:`save`; verifies the bundle hash."""
+        from repro.serve.registry import read_bundle_file
+
+        return read_bundle_file(path)
 
     # -- applications -------------------------------------------------------------------
 

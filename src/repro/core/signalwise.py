@@ -24,9 +24,11 @@ from repro.core.dataset import DesignRecord
 from repro.core.features import PATH_FEATURE_NAMES, extract_path_dataset
 from repro.core.metrics import criticality_groups
 from repro.core.sampling import SamplingConfig
+from repro.core.state import config_from_state, config_to_state
 from repro.ml.gbm import GradientBoostingRegressor
 from repro.ml.lambdamart import LambdaMARTRanker
 from repro.ml.preprocessing import StandardScaler, TargetScaler
+from repro.ml.serialize import estimator_from_state, estimator_to_state
 
 
 @dataclass(frozen=True)
@@ -197,3 +199,28 @@ class SignalwiseModel:
         key = "ranking" if use_ranker else "arrival"
         scores = prediction[key]
         return sorted(scores, key=lambda s: -scores[s])
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_state(self) -> dict:
+        """Snapshot the fitted regression + ranking stage."""
+        if not hasattr(self, "regressor_"):
+            raise RuntimeError("SignalwiseModel must be fitted before to_state()")
+        return {
+            "model": "SignalwiseModel",
+            "config": config_to_state(self.config),
+            "scaler": self.scaler_.to_state(),
+            "target_scaler": self.target_scaler_.to_state(),
+            "regressor": estimator_to_state(self.regressor_),
+            "ranker": estimator_to_state(self.ranker_),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SignalwiseModel":
+        """Rebuild a fitted model; predictions are bit-identical to the source."""
+        model = cls(config_from_state(state["config"]))
+        model.scaler_ = StandardScaler.from_state(state["scaler"])
+        model.target_scaler_ = TargetScaler.from_state(state["target_scaler"])
+        model.regressor_ = estimator_from_state(state["regressor"])
+        model.ranker_ = estimator_from_state(state["ranker"])
+        return model

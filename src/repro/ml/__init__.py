@@ -34,6 +34,7 @@ from repro.ml.mlp import MLPRegressor
 from repro.ml.transformer import TransformerPathRegressor, pad_sequences
 from repro.ml.lambdamart import LambdaMARTRanker, dcg_at_k, ndcg
 from repro.ml.gnn import GNNRegressor, GraphData
+from repro.ml.serialize import ESTIMATOR_MODULES, estimator_from_state, estimator_to_state
 
 __all__ = [
     "Estimator",
@@ -68,4 +69,7 @@ __all__ = [
     "ndcg",
     "GNNRegressor",
     "GraphData",
+    "ESTIMATOR_MODULES",
+    "estimator_from_state",
+    "estimator_to_state",
 ]

@@ -5,17 +5,25 @@ uses (XGBoost-style boosted trees, MLPs, a transformer, LambdaMART and a GNN
 baseline) are implemented from scratch on numpy in this package.  They all
 follow the small fit/predict protocol defined here so the RTL-Timer pipeline
 can swap them freely.
+
+Every estimator additionally supports structural serialization through
+:meth:`Estimator.to_state` / :meth:`Estimator.from_state`: the state is a
+plain dict of python scalars, lists and numpy arrays (no live object graph),
+which is what the model registry (:mod:`repro.serve.registry`) persists.
+Restoring a state yields an estimator whose ``predict`` is bit-identical to
+the original — the arrays are carried verbatim, only training-time scratch
+(optimizer moments, RNG, cached training predictions) is dropped.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Mapping
 
 import numpy as np
 
 
 class Estimator:
-    """Base class: parameter bookkeeping plus the fit/predict contract."""
+    """Base class: parameter bookkeeping plus the fit/predict/state contract."""
 
     def get_params(self) -> Dict[str, Any]:
         """Public constructor parameters (attributes not ending in '_')."""
@@ -26,10 +34,58 @@ class Estimator:
         }
 
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "Estimator":
+        """Fit the estimator on ``(features, targets)``; returns ``self``."""
         raise NotImplementedError
 
     def predict(self, features: np.ndarray) -> np.ndarray:
+        """Per-row predictions for a fitted estimator."""
         raise NotImplementedError
+
+    # -- structural serialization ------------------------------------------------
+
+    def to_state(self) -> Dict[str, Any]:
+        """Serializable snapshot of this fitted estimator.
+
+        Returns ``{"estimator": <class name>, "params": <constructor args>,
+        "fitted": <learned arrays/scalars>}``.  Subclasses implement
+        :meth:`_fitted_state` / :meth:`_restore_fitted`; training-only
+        scratch state is intentionally not part of the snapshot.
+        """
+        return {
+            "estimator": type(self).__name__,
+            "params": self._state_params(),
+            "fitted": self._fitted_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "Estimator":
+        """Rebuild an estimator from a :meth:`to_state` snapshot.
+
+        The restored estimator predicts bit-identically to the one that was
+        snapshotted.  Raises ``ValueError`` when the state names a different
+        estimator class.
+        """
+        name = state.get("estimator")
+        if name != cls.__name__:
+            raise ValueError(f"state is for estimator {name!r}, not {cls.__name__}")
+        model = cls(**cls._params_from_state(state.get("params", {})))
+        model._restore_fitted(state.get("fitted", {}))
+        return model
+
+    def _state_params(self) -> Dict[str, Any]:
+        """Constructor arguments stored in the state (default: get_params)."""
+        return self.get_params()
+
+    @classmethod
+    def _params_from_state(cls, params: Mapping[str, Any]) -> Dict[str, Any]:
+        """Inverse of :meth:`_state_params`: state params -> constructor args."""
+        return dict(params)
+
+    def _fitted_state(self) -> Dict[str, Any]:
+        raise NotImplementedError(f"{type(self).__name__} does not support to_state()")
+
+    def _restore_fitted(self, fitted: Mapping[str, Any]) -> None:
+        raise NotImplementedError(f"{type(self).__name__} does not support from_state()")
 
     def _check_fitted(self, attribute: str) -> None:
         if not hasattr(self, attribute):

@@ -182,6 +182,44 @@ class GradientBoostingRegressor(Estimator):
                 predictions += self.learning_rate * tree.predict(X)
         return predictions
 
+    # -- serialization ----------------------------------------------------------
+
+    def _state_params(self) -> dict:
+        # The objective can hold training-time arrays (GroupedMaxSquaredError
+        # keeps the endpoint groups and labels); inference never touches it,
+        # so the state records only a descriptor instead of the live object.
+        params = self.get_params()
+        objective = params.pop("objective")
+        descriptor = {"type": type(objective).__name__}
+        if isinstance(objective, HuberObjective):
+            descriptor["delta"] = objective.delta
+        params["objective_descriptor"] = descriptor
+        return params
+
+    def _fitted_state(self) -> dict:
+        self._check_fitted("trees_")
+        return {
+            "base_score": float(self.base_score_),
+            "trees": [tree.to_state() for tree in self.trees_],
+            "train_losses": [float(loss) for loss in self.train_losses_],
+        }
+
+    def _restore_fitted(self, fitted) -> None:
+        self.base_score_ = float(fitted["base_score"])
+        self.trees_ = [NewtonTreeRegressor.from_state(state) for state in fitted["trees"]]
+        self.train_losses_ = list(fitted.get("train_losses", []))
+
+    @classmethod
+    def _params_from_state(cls, params) -> dict:
+        params = dict(params)
+        descriptor = params.pop("objective_descriptor", {"type": "SquaredErrorObjective"})
+        if descriptor.get("type") == "HuberObjective":
+            params["objective"] = HuberObjective(delta=descriptor.get("delta", 1.0))
+        # Any other objective (incl. GroupedMaxSquaredError) restores as the
+        # default squared error: predict() is objective-free, and refitting a
+        # restored model needs fresh training groups anyway.
+        return params
+
     def staged_predict(self, features: np.ndarray) -> np.ndarray:
         """Prediction matrix after each boosting round (rounds x rows)."""
         self._check_fitted("trees_")

@@ -185,6 +185,24 @@ class GNNRegressor(Estimator):
         scores, _ = self._forward(graph)
         return scores[graph.endpoint_nodes]
 
+    # -- serialization ---------------------------------------------------------------
+
+    def _fitted_state(self) -> dict:
+        """Layer + head parameters; Adam moments are training-only."""
+        self._check_fitted("weights_")
+        return {
+            "weights": [w.copy() for w in self.weights_],
+            "biases": [b.copy() for b in self.biases_],
+            "head_w": self.head_w_.copy(),
+            "head_b": self.head_b_.copy(),
+        }
+
+    def _restore_fitted(self, fitted) -> None:
+        self.weights_ = [np.asarray(w, dtype=float) for w in fitted["weights"]]
+        self.biases_ = [np.asarray(b, dtype=float) for b in fitted["biases"]]
+        self.head_w_ = np.asarray(fitted["head_w"], dtype=float)
+        self.head_b_ = np.asarray(fitted["head_b"], dtype=float)
+
     # The generic Estimator API maps onto single-graph usage.
     def fit(self, features: np.ndarray, targets: np.ndarray) -> "GNNRegressor":  # pragma: no cover
         raise NotImplementedError("use fit_graphs() with GraphData records")

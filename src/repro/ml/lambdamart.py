@@ -132,6 +132,20 @@ class LambdaMARTRanker(Estimator):
                 scores += self.learning_rate * tree.predict(X)
         return scores
 
+    # -- serialization ------------------------------------------------------------
+
+    def _fitted_state(self) -> dict:
+        """Boosted trees + training NDCG curve; query rows are training-only."""
+        self._check_fitted("trees_")
+        return {
+            "trees": [tree.to_state() for tree in self.trees_],
+            "train_ndcg": [float(value) for value in self.train_ndcg_],
+        }
+
+    def _restore_fitted(self, fitted) -> None:
+        self.trees_ = [NewtonTreeRegressor.from_state(state) for state in fitted["trees"]]
+        self.train_ndcg_ = list(fitted.get("train_ndcg", []))
+
     def rank(self, features: np.ndarray) -> np.ndarray:
         """Rank positions (0 = most critical) for the given rows."""
         scores = self.predict(features)

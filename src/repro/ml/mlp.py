@@ -176,3 +176,17 @@ class MLPRegressor(Estimator):
         X = as_2d_array(features)
         predictions, _ = self._forward(X)
         return predictions
+
+    # -- serialization ------------------------------------------------------------
+
+    def _fitted_state(self) -> dict:
+        """Layer weights/biases; Adam moments are training-only and dropped."""
+        self._check_fitted("weights_")
+        return {
+            "weights": [w.copy() for w in self.weights_],
+            "biases": [b.copy() for b in self.biases_],
+        }
+
+    def _restore_fitted(self, fitted) -> None:
+        self.weights_ = [np.asarray(w, dtype=float) for w in fitted["weights"]]
+        self.biases_ = [np.asarray(b, dtype=float) for b in fitted["biases"]]

@@ -30,6 +30,22 @@ class StandardScaler:
         array = as_2d_array(features)
         return array * self.scale_ + self.mean_
 
+    def to_state(self) -> dict:
+        """Serializable snapshot (same shape the estimators use)."""
+        return {
+            "estimator": "StandardScaler",
+            "params": {},
+            "fitted": {"mean": self.mean_.copy(), "scale": self.scale_.copy()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StandardScaler":
+        """Rebuild a fitted scaler from :meth:`to_state` output."""
+        scaler = cls()
+        scaler.mean_ = np.asarray(state["fitted"]["mean"], dtype=float)
+        scaler.scale_ = np.asarray(state["fitted"]["scale"], dtype=float)
+        return scaler
+
 
 class MinMaxScaler:
     """Scale features into [0, 1] per column."""
@@ -48,6 +64,22 @@ class MinMaxScaler:
 
     def fit_transform(self, features: np.ndarray) -> np.ndarray:
         return self.fit(features).transform(features)
+
+    def to_state(self) -> dict:
+        """Serializable snapshot (same shape the estimators use)."""
+        return {
+            "estimator": "MinMaxScaler",
+            "params": {},
+            "fitted": {"min": self.min_.copy(), "span": self.span_.copy()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MinMaxScaler":
+        """Rebuild a fitted scaler from :meth:`to_state` output."""
+        scaler = cls()
+        scaler.min_ = np.asarray(state["fitted"]["min"], dtype=float)
+        scaler.span_ = np.asarray(state["fitted"]["span"], dtype=float)
+        return scaler
 
 
 class TargetScaler:
@@ -68,6 +100,22 @@ class TargetScaler:
 
     def inverse_transform(self, targets: np.ndarray) -> np.ndarray:
         return as_1d_array(targets) * self.scale_ + self.mean_
+
+    def to_state(self) -> dict:
+        """Serializable snapshot (same shape the estimators use)."""
+        return {
+            "estimator": "TargetScaler",
+            "params": {},
+            "fitted": {"mean": float(self.mean_), "scale": float(self.scale_)},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TargetScaler":
+        """Rebuild a fitted scaler from :meth:`to_state` output."""
+        scaler = cls()
+        scaler.mean_ = float(state["fitted"]["mean"])
+        scaler.scale_ = float(state["fitted"]["scale"])
+        return scaler
 
 
 def train_test_split(

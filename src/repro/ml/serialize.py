@@ -1,0 +1,60 @@
+"""Estimator-state dispatch shared by the model registry.
+
+Every estimator and scaler in :mod:`repro.ml` snapshots itself into a plain
+state dict (``{"estimator": <class name>, "params": ..., "fitted": ...}``,
+see :meth:`repro.ml.base.Estimator.to_state`).  This module provides the
+inverse direction without the caller having to know the concrete class:
+:func:`estimator_from_state` looks the class up by the recorded name and
+delegates to its ``from_state``.
+
+The name->module table is explicit (not a global registry populated by
+imports) so a state written by one process restores identically in a fresh
+process regardless of what happens to have been imported.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Mapping, Optional
+
+#: Class name -> defining module for every serializable estimator/scaler.
+ESTIMATOR_MODULES = {
+    "DecisionTreeRegressor": "repro.ml.tree",
+    "NewtonTreeRegressor": "repro.ml.tree",
+    "GradientBoostingRegressor": "repro.ml.gbm",
+    "LambdaMARTRanker": "repro.ml.lambdamart",
+    "MLPRegressor": "repro.ml.mlp",
+    "TransformerPathRegressor": "repro.ml.transformer",
+    "GNNRegressor": "repro.ml.gnn",
+    "StandardScaler": "repro.ml.preprocessing",
+    "MinMaxScaler": "repro.ml.preprocessing",
+    "TargetScaler": "repro.ml.preprocessing",
+}
+
+
+def estimator_to_state(model: Any) -> Optional[dict]:
+    """Snapshot ``model`` (``None`` passes through for optional submodels)."""
+    if model is None:
+        return None
+    return model.to_state()
+
+
+def estimator_from_state(state: Optional[Mapping[str, Any]]) -> Any:
+    """Rebuild the estimator a :func:`estimator_to_state` snapshot describes.
+
+    Raises ``ValueError`` for states that do not name a known estimator, so
+    a truncated or hand-edited bundle fails loudly instead of predicting
+    garbage.
+    """
+    if state is None:
+        return None
+    name = state.get("estimator") if isinstance(state, Mapping) else None
+    if name is None:
+        raise ValueError("estimator state must be a mapping with an 'estimator' key")
+    module_name = ESTIMATOR_MODULES.get(name)
+    if module_name is None:
+        raise ValueError(
+            f"unknown estimator {name!r}; known: {sorted(ESTIMATOR_MODULES)}"
+        )
+    cls = getattr(importlib.import_module(module_name), name)
+    return cls.from_state(state)

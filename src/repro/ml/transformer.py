@@ -280,3 +280,15 @@ class TransformerPathRegressor(Estimator):
         tokens, mask = pad_sequences(sequences, self.max_length)
         predictions, _ = self._forward(tokens, mask, as_2d_array(global_features))
         return predictions
+
+    # -- serialization ---------------------------------------------------------------
+
+    def _fitted_state(self) -> dict:
+        """All parameter tensors by name; Adam moments are dropped."""
+        self._check_fitted("params_")
+        return {"tensors": {key: value.copy() for key, value in self.params_.items()}}
+
+    def _restore_fitted(self, fitted) -> None:
+        self.params_ = {
+            key: np.asarray(value, dtype=float) for key, value in fitted["tensors"].items()
+        }

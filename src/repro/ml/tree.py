@@ -227,6 +227,50 @@ class FlatTree:
             node[active] = np.where(go_left, self.left[current], self.right[current])
         return self.value[node]
 
+    def to_node(self) -> _Node:
+        """Rebuild the linked-node form of the tree (index 0 is the root).
+
+        Inverse of :meth:`from_node` up to node identity — routing and leaf
+        values are preserved exactly, so ``predict_recursive`` over the
+        rebuilt nodes matches the flattened ``predict`` bit for bit.  Used
+        when a tree is restored from serialized state, where only the flat
+        arrays are stored.
+        """
+
+        def build(index: int) -> _Node:
+            if self.feature[index] < 0:
+                return _Node(value=float(self.value[index]))
+            return _Node(
+                value=float(self.value[index]),
+                feature=int(self.feature[index]),
+                threshold=float(self.threshold[index]),
+                left=build(int(self.left[index])),
+                right=build(int(self.right[index])),
+            )
+
+        return build(0)
+
+    def to_state(self) -> dict:
+        """The five parallel arrays as a plain dict (copies, not views)."""
+        return {
+            "feature": self.feature.copy(),
+            "threshold": self.threshold.copy(),
+            "left": self.left.copy(),
+            "right": self.right.copy(),
+            "value": self.value.copy(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FlatTree":
+        """Rebuild a :class:`FlatTree` from :meth:`to_state` output."""
+        return cls(
+            feature=np.asarray(state["feature"], dtype=np.int32),
+            threshold=np.asarray(state["threshold"], dtype=float),
+            left=np.asarray(state["left"], dtype=np.int32),
+            right=np.asarray(state["right"], dtype=np.int32),
+            value=np.asarray(state["value"], dtype=float),
+        )
+
 
 # ---------------------------------------------------------------------------
 # Histogram split finding
@@ -393,6 +437,18 @@ class DecisionTreeRegressor(Estimator):
             return walk(node.left) + walk(node.right)
 
         return walk(self.root_)
+
+    # -- serialization ----------------------------------------------------------
+
+    def _fitted_state(self) -> dict:
+        """Flat arrays + feature count; ``root_`` is rebuilt on restore."""
+        self._check_fitted("flat_")
+        return {"flat": self.flat_.to_state(), "n_features": int(self.n_features_)}
+
+    def _restore_fitted(self, fitted) -> None:
+        self.flat_ = FlatTree.from_state(fitted["flat"])
+        self.root_ = self.flat_.to_node()
+        self.n_features_ = int(fitted["n_features"])
 
     # -- internals --------------------------------------------------------------
 
@@ -612,6 +668,13 @@ class NewtonTreeRegressor(DecisionTreeRegressor):
             seed=seed,
         )
         self.reg_lambda = reg_lambda
+
+    def _state_params(self) -> dict:
+        # The constructor spells the gain threshold ``min_gain`` while the
+        # attribute keeps the base class name, so map it back for from_state.
+        params = super()._state_params()
+        params["min_gain"] = params.pop("min_impurity_decrease")
+        return params
 
     def fit_gradients(
         self,

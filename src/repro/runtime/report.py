@@ -22,6 +22,7 @@ import json
 import os
 import platform
 import sys
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -45,19 +46,38 @@ FULL_RESYNTHESIS_STAGE = "incremental.full_resynthesis"
 
 @dataclass
 class RuntimeReport:
-    """Accumulated per-stage wall time and counters for one run."""
+    """Accumulated per-stage wall time and counters for one run.
+
+    Recording (:meth:`add_stage` / :meth:`incr` / :meth:`merge`) and
+    snapshotting (:meth:`to_dict`) are thread-safe: the serving layer
+    records from HTTP handler threads and its batching worker into one
+    shared report while ``/metrics`` scrapes it.
+    """
 
     stages: Dict[str, float] = field(default_factory=dict)
     stage_calls: Dict[str, int] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_lock", None)  # locks are process-local, not picklable
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     # -- recording ----------------------------------------------------------
 
     def add_stage(self, name: str, seconds: float) -> None:
         """Add ``seconds`` of wall time to stage ``name``."""
-        self.stages[name] = self.stages.get(name, 0.0) + float(seconds)
-        self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+        with self._lock:
+            self.stages[name] = self.stages.get(name, 0.0) + float(seconds)
+            self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
 
     @contextlib.contextmanager
     def stage(self, name: str) -> Iterator["RuntimeReport"]:
@@ -75,17 +95,26 @@ class RuntimeReport:
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Increment event counter ``name`` by ``amount``."""
-        self.counters[name] = self.counters.get(name, 0) + int(amount)
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + int(amount)
 
     def merge(self, other: "RuntimeReport") -> "RuntimeReport":
         """Fold another report's stages and counters into this one."""
-        for name, seconds in other.stages.items():
-            self.stages[name] = self.stages.get(name, 0.0) + seconds
-        for name, calls in other.stage_calls.items():
-            self.stage_calls[name] = self.stage_calls.get(name, 0) + calls
-        for name, amount in other.counters.items():
-            self.counters[name] = self.counters.get(name, 0) + amount
-        self.meta.update(other.meta)
+        # Snapshot the source first so merging a *live* report (e.g. the
+        # serving layer's) never iterates dicts its writers are resizing.
+        with other._lock:
+            stages = dict(other.stages)
+            stage_calls = dict(other.stage_calls)
+            counters = dict(other.counters)
+            meta = dict(other.meta)
+        with self._lock:
+            for name, seconds in stages.items():
+                self.stages[name] = self.stages.get(name, 0.0) + seconds
+            for name, calls in stage_calls.items():
+                self.stage_calls[name] = self.stage_calls.get(name, 0) + calls
+            for name, amount in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + amount
+            self.meta.update(meta)
         return self
 
     # -- derived ------------------------------------------------------------
@@ -104,6 +133,10 @@ class RuntimeReport:
     # -- serialization ------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return self._to_dict_locked()
+
+    def _to_dict_locked(self) -> Dict[str, object]:
         derived: Dict[str, object] = {}
         throughput = self.designs_per_second()
         if throughput is not None:
@@ -120,6 +153,11 @@ class RuntimeReport:
         recomputed = self.counters.get("incremental_recomputed_vertices", 0)
         if runs:
             derived["incremental_vertices_per_run"] = round(recomputed / runs, 1)
+        serve_requests = self.counters.get("serve_requests", 0)
+        serve_batches = self.counters.get("serve_batches", 0)
+        if serve_requests and serve_batches:
+            # Realized micro-batch size of the serving layer (1.0 = no fusion).
+            derived["serve_batch_size"] = round(serve_requests / serve_batches, 2)
         return {
             "schema": REPORT_SCHEMA,
             "generated_at": time.time(),

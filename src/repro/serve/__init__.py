@@ -1,0 +1,44 @@
+"""Serving layer: model registry, batched inference service, HTTP server.
+
+This package is the repo's train-once/serve-many boundary:
+
+* :mod:`repro.serve.registry` — versioned, content-addressed model bundles
+  (``save_model`` / ``load_model`` / :class:`ModelRegistry`) layered on the
+  :mod:`repro.runtime` artifact cache; reloaded models predict
+  bit-identically to the fitted originals,
+* :mod:`repro.serve.service` — :class:`TimingService`, a load-once,
+  thread-safe facade over :class:`~repro.core.pipeline.RTLTimer` that
+  micro-batches concurrent predict calls into single ``predict_batch``
+  passes and records ``serve.*`` runtime stages,
+* :mod:`repro.serve.http` — a stdlib JSON-over-HTTP server exposing
+  ``/predict``, ``/whatif``, ``/health`` and ``/metrics``.
+
+The ``python -m repro`` CLI (:mod:`repro.cli`) wires these together:
+``train`` saves into the registry, ``serve`` loads from it and binds the
+HTTP server.
+"""
+
+from repro.serve.registry import (
+    MODEL_BUNDLE_SCHEMA,
+    ModelRegistry,
+    RegistryError,
+    default_model_dir,
+    load_model,
+    save_model,
+)
+from repro.serve.service import ServeConfig, TimingService
+from repro.serve.http import TimingHTTPServer, prediction_to_json, start_server
+
+__all__ = [
+    "MODEL_BUNDLE_SCHEMA",
+    "ModelRegistry",
+    "RegistryError",
+    "default_model_dir",
+    "load_model",
+    "save_model",
+    "ServeConfig",
+    "TimingService",
+    "TimingHTTPServer",
+    "prediction_to_json",
+    "start_server",
+]

@@ -1,0 +1,313 @@
+"""Load-once, thread-safe serving facade over :class:`RTLTimer`.
+
+A :class:`TimingService` owns one fitted timer and answers prediction
+requests from many threads.  Requests that arrive close together are
+**micro-batched**: the first request of a batch waits up to
+``batch_window_s`` for companions, then the whole group runs through one
+:meth:`RTLTimer.predict_batch` call — amortizing per-stage model dispatch
+and sharing the warm path-feature cache — and every caller gets exactly the
+prediction it would have gotten from a serial in-process ``predict``
+(predict_batch is element-wise identical by construction, covered by
+``tests/test_runtime_engine.py`` and re-asserted for the service in
+``tests/test_serve.py``).
+
+Every request is timed into the service's
+:class:`~repro.runtime.report.RuntimeReport` (``serve.*`` stages,
+``serve_requests`` / ``serve_batches`` counters); :meth:`TimingService.metrics`
+derives latency percentiles and the realized mean batch size, which the
+serve benchmark appends to ``BENCH_runtime.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from repro.core.dataset import DesignRecord, build_design_record
+from repro.core.pipeline import RTLTimer, RTLTimerPrediction
+from repro.runtime.cache import ArtifactCache, record_key
+from repro.runtime.report import RuntimeReport, activate
+
+#: Stage names emitted by the service (kept as constants so the serve
+#: benchmark and the docs cannot drift from the implementation).
+PREDICT_BATCH_STAGE = "serve.predict_batch"
+PREDICT_P50_STAGE = "serve.predict_p50"
+WHATIF_STAGE = "serve.whatif"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Batching and record-cache knobs of one :class:`TimingService`."""
+
+    #: Maximum number of requests fused into one ``predict_batch`` call.
+    max_batch: int = 16
+    #: How long the first request of a batch waits for companions (seconds).
+    #: 0 disables micro-batching (every request runs alone, still async-safe).
+    batch_window_s: float = 0.005
+    #: Build-on-demand records for ``/predict`` source payloads go through
+    #: the content-addressed artifact cache when enabled.
+    cache_records: bool = True
+    #: Default candidate count for ``what_if`` when none are supplied.
+    whatif_k: int = 8
+    #: Latency samples kept for the percentile metrics (newest win; bounds
+    #: memory on long-lived services).
+    latency_window: int = 4096
+    #: In-process DesignRecords kept hot for repeated source payloads (LRU);
+    #: evicted entries fall back to the on-disk artifact cache.
+    record_cache_entries: int = 64
+
+
+@dataclass
+class _Request:
+    """One queued prediction request and its completion plumbing."""
+
+    record: DesignRecord
+    enqueued_at: float
+    done: threading.Event = field(default_factory=threading.Event)
+    prediction: Optional[RTLTimerPrediction] = None
+    error: Optional[BaseException] = None
+    batch_size: int = 0
+    queue_seconds: float = 0.0
+
+
+class TimingService:
+    """Thread-safe, micro-batching inference service over one fitted timer."""
+
+    def __init__(
+        self,
+        timer: RTLTimer,
+        config: Optional[ServeConfig] = None,
+        report: Optional[RuntimeReport] = None,
+        manifest: Optional[Dict[str, Any]] = None,
+    ):
+        self.timer = timer
+        self.config = config or ServeConfig()
+        self.report = report if report is not None else RuntimeReport()
+        #: Manifest of the bundle this service was loaded from (None when the
+        #: timer was fitted in-process); surfaced by ``/health``.
+        self.manifest = manifest
+        self.started_at = time.time()
+
+        self._queue: List[_Request] = []
+        self._mutex = threading.Lock()
+        self._wakeup = threading.Condition(self._mutex)
+        self._closed = False
+        self._latencies: Deque[float] = deque(maxlen=max(self.config.latency_window, 1))
+        self._whatif_mutex = threading.Lock()
+        self._record_cache: "OrderedDict[str, DesignRecord]" = OrderedDict()
+        self._record_mutex = threading.Lock()
+        self._artifacts = ArtifactCache() if self.config.cache_records else None
+        self._worker = threading.Thread(
+            target=self._serve_loop, name="timing-service-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the batching worker; pending requests fail with RuntimeError."""
+        with self._wakeup:
+            self._closed = True
+            self._wakeup.notify_all()
+        self._worker.join(timeout=5.0)
+
+    def __enter__(self) -> "TimingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- inference ---------------------------------------------------------------
+
+    def predict(self, record: DesignRecord) -> RTLTimerPrediction:
+        """Predict one design; bit-identical to in-process ``timer.predict``.
+
+        Thread-safe: concurrent callers are fused into one batched model
+        pass when they arrive within the batching window.
+        """
+        prediction, _ = self.predict_with_stats(record)
+        return prediction
+
+    def predict_with_stats(self, record: DesignRecord):
+        """Like :meth:`predict`, plus per-request serving stats.
+
+        Returns ``(prediction, stats)`` where ``stats`` reports the realized
+        batch size, time spent queued and total service latency for *this*
+        request — the per-request view of the service-wide report.
+        """
+        request = _Request(record=record, enqueued_at=time.perf_counter())
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("TimingService is closed")
+            self._queue.append(request)
+            self._wakeup.notify_all()
+        request.done.wait()
+        if request.error is not None:
+            raise request.error
+        latency = time.perf_counter() - request.enqueued_at
+        with self._mutex:
+            self._latencies.append(latency)
+        stats = {
+            "batch_size": request.batch_size,
+            "queue_seconds": round(request.queue_seconds, 6),
+            "latency_seconds": round(latency, 6),
+        }
+        return request.prediction, stats
+
+    def what_if(
+        self,
+        record: DesignRecord,
+        candidates: Optional[Sequence[Any]] = None,
+        k: Optional[int] = None,
+    ):
+        """Project candidate synthesis option sets with the incremental engine.
+
+        The prediction feeding candidate generation goes through the batched
+        :meth:`predict` path; the incremental what-if sweep itself mutates
+        patch state on the record's baseline netlist, so sweeps are
+        serialized per service.
+        """
+        prediction = None
+        if candidates is None:
+            prediction = self.predict(record)
+        with self._whatif_mutex, activate(self.report), self.report.stage(WHATIF_STAGE):
+            estimates = self.timer.what_if(
+                record,
+                candidates=candidates,
+                prediction=prediction,
+                k=self.config.whatif_k if k is None else k,
+            )
+        self.report.incr("serve_whatif_requests")
+        return estimates
+
+    def record_for_source(self, source: str, name: Optional[str] = None) -> DesignRecord:
+        """Elaborate (or fetch) the DesignRecord for raw Verilog source.
+
+        Records are cached twice: an in-process dict for the lifetime of the
+        service and — when enabled — the shared content-addressed artifact
+        cache, so repeated requests for the same source skip elaboration.
+        """
+        key = record_key(source, None, name)
+        with self._record_mutex:
+            cached = self._record_cache.get(key)
+            if cached is not None:
+                self._record_cache.move_to_end(key)
+        if cached is not None:
+            self.report.incr("serve_record_hits")
+            return cached
+        with activate(self.report), self.report.stage("serve.build_record"):
+            if self._artifacts is not None:
+                record = self._artifacts.load_or_build(
+                    key, lambda: build_design_record(source, name=name)
+                )
+            else:
+                record = build_design_record(source, name=name)
+        with self._record_mutex:
+            self._record_cache[key] = record
+            self._record_cache.move_to_end(key)
+            while len(self._record_cache) > max(self.config.record_cache_entries, 1):
+                self._record_cache.popitem(last=False)
+        return record
+
+    # -- metrics -----------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        """Service-level snapshot: report + latency percentiles + batch size."""
+        with self._mutex:
+            latencies = sorted(self._latencies)
+        snapshot = self.report.to_dict()
+        requests = self.report.counters.get("serve_requests", 0)
+        batches = self.report.counters.get("serve_batches", 0)
+        serving: Dict[str, Any] = {
+            "requests": requests,
+            "batches": batches,
+            "batch_size": round(requests / batches, 3) if batches else 0.0,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+        }
+        if latencies:
+            serving["predict_p50"] = round(_percentile(latencies, 0.50), 6)
+            serving["predict_p95"] = round(_percentile(latencies, 0.95), 6)
+        snapshot["serving"] = serving
+        return snapshot
+
+    def runtime_report(self) -> RuntimeReport:
+        """A copy of the service report with derived ``serve.*`` stages added.
+
+        ``serve.predict_p50`` is recorded as a stage (it is a wall-time
+        quantity) so the CI benchmark-trend artifact tracks it next to the
+        other stages; the mean batch size lands in the ``derived`` section
+        via the ``serve_requests`` / ``serve_batches`` counters.
+        """
+        merged = RuntimeReport().merge(self.report)
+        with self._mutex:
+            latencies = sorted(self._latencies)
+        if latencies:
+            merged.stages[PREDICT_P50_STAGE] = round(_percentile(latencies, 0.50), 6)
+            merged.stage_calls[PREDICT_P50_STAGE] = len(latencies)
+        return merged
+
+    # -- batching worker -----------------------------------------------------------
+
+    def _take_batch(self) -> Optional[List[_Request]]:
+        """Block until a batch is ready (or the service closes)."""
+        config = self.config
+        # Clamp like the other ServeConfig knobs: max_batch <= 0 would make
+        # the slice below never take anything while the queue stays
+        # non-empty — a busy-spinning worker and callers blocked forever.
+        max_batch = max(config.max_batch, 1)
+        with self._wakeup:
+            while not self._queue and not self._closed:
+                self._wakeup.wait()
+            if not self._queue:
+                return None  # closed with an empty queue
+            deadline = time.perf_counter() + config.batch_window_s
+            while (
+                len(self._queue) < max_batch
+                and not self._closed
+                and (remaining := deadline - time.perf_counter()) > 0.0
+            ):
+                self._wakeup.wait(timeout=remaining)
+            batch = self._queue[:max_batch]
+            del self._queue[:max_batch]
+            return batch
+
+    def _serve_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                break
+            taken_at = time.perf_counter()
+            for request in batch:
+                request.queue_seconds = taken_at - request.enqueued_at
+                request.batch_size = len(batch)
+            try:
+                with activate(self.report), self.report.stage(PREDICT_BATCH_STAGE):
+                    predictions = self.timer.predict_batch(
+                        [request.record for request in batch], report=self.report
+                    )
+                for request, prediction in zip(batch, predictions):
+                    request.prediction = prediction
+            except BaseException as exc:  # surface failures to every caller
+                for request in batch:
+                    request.error = exc
+            self.report.incr("serve_requests", len(batch))
+            self.report.incr("serve_batches")
+            if len(batch) > 1:
+                self.report.incr("serve_batched_requests", len(batch))
+            for request in batch:
+                request.done.set()
+        # Fail whatever was still queued when close() ran.
+        with self._wakeup:
+            pending, self._queue = self._queue, []
+        for request in pending:
+            request.error = RuntimeError("TimingService closed while request was queued")
+            request.done.set()
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    index = min(len(sorted_values) - 1, max(0, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[index]

@@ -1,0 +1,295 @@
+"""TimingService micro-batching and the JSON-over-HTTP server."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import RTLTimer
+from repro.runtime.report import RuntimeReport
+from repro.serve import ServeConfig, TimingService, start_server
+from tests.test_registry import TINY_TIMER_CONFIG
+
+
+@pytest.fixture(scope="module")
+def served_timer(tiny_records):
+    return RTLTimer(TINY_TIMER_CONFIG).fit(tiny_records[:4])
+
+
+@pytest.fixture()
+def service(served_timer):
+    service = TimingService(served_timer, ServeConfig(max_batch=4, batch_window_s=0.05))
+    yield service
+    service.close()
+
+
+# ---------------------------------------------------------------------------
+# TimingService
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_predicts_match_serial(served_timer, tiny_records, service):
+    """N threads through the batched service == serial in-process predicts."""
+    results = [None] * len(tiny_records)
+    errors = []
+
+    def run(index):
+        try:
+            results[index] = service.predict(tiny_records[index])
+        except BaseException as exc:  # surfaced below as a test failure
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(len(tiny_records))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+
+    for record, served in zip(tiny_records, results):
+        serial = served_timer.predict(record)
+        assert served.bitwise_arrival == serial.bitwise_arrival
+        assert served.signal_arrival == serial.signal_arrival
+        assert served.signal_ranking == serial.signal_ranking
+        assert served.signal_slack == serial.signal_slack
+        assert served.rank_group == serial.rank_group
+        assert served.overall == serial.overall
+
+
+def test_batching_counter_fires(served_timer, tiny_records, service):
+    """Concurrent requests inside the window actually share a model pass."""
+    barrier = threading.Barrier(4)
+    stats = [None] * 4
+
+    def run(index):
+        barrier.wait()
+        _, stats[index] = service.predict_with_stats(tiny_records[index])
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    counters = service.report.counters
+    assert counters["serve_requests"] == 4
+    assert counters["serve_batches"] < 4, "no request shared a batch"
+    assert counters.get("serve_batched_requests", 0) >= 2
+    assert max(s["batch_size"] for s in stats) >= 2
+    assert service.report.stages.get("serve.predict_batch", 0.0) > 0.0
+
+
+def test_requests_above_max_batch_split(served_timer, tiny_records):
+    service = TimingService(served_timer, ServeConfig(max_batch=2, batch_window_s=0.05))
+    try:
+        barrier = threading.Barrier(5)
+        results = [None] * 5
+
+        def run(index):
+            barrier.wait()
+            results[index] = service.predict(tiny_records[index % len(tiny_records)])
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(result is not None for result in results)
+        assert service.report.counters["serve_requests"] == 5
+        assert service.report.counters["serve_batches"] >= 3  # ceil(5 / 2)
+    finally:
+        service.close()
+
+
+def test_nonpositive_max_batch_is_clamped(served_timer, tiny_records):
+    """max_batch=0 must not busy-spin the worker and hang every caller."""
+    service = TimingService(served_timer, ServeConfig(max_batch=0, batch_window_s=0.0))
+    try:
+        prediction = service.predict(tiny_records[0])
+        assert prediction.design == tiny_records[0].name
+        assert service.report.counters["serve_batches"] == 1
+    finally:
+        service.close()
+
+
+def test_predict_after_close_raises(served_timer, tiny_records):
+    service = TimingService(served_timer, ServeConfig(batch_window_s=0.0))
+    service.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        service.predict(tiny_records[0])
+
+
+def test_whatif_through_service(served_timer, tiny_records, service):
+    estimates = service.what_if(tiny_records[4], k=4)
+    direct = served_timer.what_if(
+        tiny_records[4], prediction=served_timer.predict(tiny_records[4]), k=4
+    )
+    assert [e.wns for e in estimates] == [e.wns for e in direct]
+    assert [e.tns for e in estimates] == [e.tns for e in direct]
+    assert service.report.counters["serve_whatif_requests"] == 1
+    assert service.report.stages["serve.whatif"] > 0.0
+
+
+def test_runtime_report_has_serve_stages(served_timer, tiny_records, service):
+    service.predict(tiny_records[0])
+    service.predict(tiny_records[1])
+    report = service.runtime_report()
+    assert report.stages["serve.predict_p50"] > 0.0
+    assert report.counters["serve_requests"] == 2
+    derived = report.to_dict()["derived"]
+    assert derived["serve_batch_size"] >= 1.0
+
+
+def test_service_record_cache(served_timer, simple_source, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    service = TimingService(served_timer)
+    try:
+        first = service.record_for_source(simple_source, name="simple")
+        second = service.record_for_source(simple_source, name="simple")
+        assert second is first  # in-process cache
+        assert service.report.counters.get("serve_record_hits", 0) == 1
+    finally:
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# HTTP server
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def http_server(served_timer, tiny_records):
+    service = TimingService(served_timer, ServeConfig(max_batch=4, batch_window_s=0.02))
+    server = start_server(service, port=0)
+    for record in tiny_records:
+        server.register_record(record)
+    yield server
+    server.shutdown()
+    service.close()
+
+
+def _url(server, path):
+    host, port = server.server_address
+    return f"http://{host}:{port}{path}"
+
+
+def _post(server, path, payload):
+    request = urllib.request.Request(
+        _url(server, path),
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def _get(server, path):
+    with urllib.request.urlopen(_url(server, path)) as response:
+        return json.loads(response.read())
+
+
+def test_http_predict_bit_identical(http_server, served_timer, tiny_records):
+    record = tiny_records[4]
+    response = _post(http_server, "/predict", {"name": record.name})
+    serial = served_timer.predict(record)
+    assert response["design"] == record.name
+    assert response["overall"] == {k: float(v) for k, v in serial.overall.items()}
+    assert response["signal_slack"] == {k: float(v) for k, v in serial.signal_slack.items()}
+    assert response["ranked_signals"] == serial.ranked_signals()
+    assert response["serve"]["batch_size"] >= 1
+
+
+def test_http_whatif(http_server, served_timer, tiny_records):
+    record = tiny_records[4]
+    response = _post(http_server, "/whatif", {"name": record.name, "k": 4})
+    direct = served_timer.what_if(record, prediction=served_timer.predict(record), k=4)
+    assert [c["wns"] for c in response["candidates"]] == [e.wns for e in direct]
+
+
+def test_http_health_and_metrics(http_server):
+    health = _get(http_server, "/health")
+    assert health["status"] == "ok"
+    _post(http_server, "/predict", {"name": http_server.service.timer.training_designs_[0]})
+    metrics = _get(http_server, "/metrics")
+    assert metrics["serving"]["requests"] >= 1
+    assert "predict_p50" in metrics["serving"]
+
+
+def test_http_error_paths(http_server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(http_server, "/nope")
+    assert excinfo.value.code == 404
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(http_server, "/predict", {"name": "no-such-design"})
+    assert excinfo.value.code == 404
+
+    request = urllib.request.Request(
+        _url(http_server, "/predict"),
+        data=b"this is not json",
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request)
+    assert excinfo.value.code == 400
+
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(http_server, "/whatif", {"name": "whatever", "k": -3})
+    assert excinfo.value.code in (400, 404)
+
+
+def test_http_post_unknown_path_does_not_desync_keepalive(http_server):
+    """A 404'd POST with an unread body must not poison the connection."""
+    import http.client
+
+    host, port = http_server.server_address
+    conn = http.client.HTTPConnection(host, port)
+    try:
+        conn.request("POST", "/bogus", body=b'{"x": 1}', headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        assert response.status == 404
+        response.read()
+        # The server closes the connection instead of parsing the leftover
+        # body bytes as the next request line; either the follow-up request
+        # fails cleanly (closed) or — never — comes back as a 400 desync.
+        try:
+            conn.request("GET", "/health")
+            status = conn.getresponse().status
+        except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+            status = None
+        assert status != 400
+    finally:
+        conn.close()
+    assert _get(http_server, "/health")["status"] == "ok"
+
+
+def test_record_cache_is_bounded(served_timer, simple_source):
+    service = TimingService(served_timer, ServeConfig(record_cache_entries=1))
+    try:
+        first = service.record_for_source(simple_source, name="one")
+        service.record_for_source(simple_source, name="two")
+        assert len(service._record_cache) == 1  # LRU evicted the first entry
+        again = service.record_for_source(simple_source, name="one")
+        assert again is not first  # rebuilt (or disk-cache loaded), not leaked
+    finally:
+        service.close()
+
+
+def test_http_source_payload(http_server, served_timer, simple_source):
+    response = _post(http_server, "/predict", {"source": simple_source, "name": "simple"})
+    record = http_server.service.record_for_source(simple_source, name="simple")
+    serial = served_timer.predict(record)
+    assert response["overall"] == {k: float(v) for k, v in serial.overall.items()}
+
+
+def test_service_report_can_merge_into_session_report(served_timer, tiny_records):
+    session = RuntimeReport()
+    with TimingService(served_timer) as service:
+        service.predict(tiny_records[0])
+        session.merge(service.runtime_report())
+    assert "serve.predict_batch" in session.stages
+    assert "serve.predict_p50" in session.stages
