@@ -3,10 +3,12 @@
 Used by the CI perf-smoke job::
 
     python benchmarks/compare_trend.py previous/BENCH_runtime.json BENCH_runtime.json \
-        --stage benchmarks.cross_validation --max-regression 0.20
+        --stage benchmarks.cross_validation --stage sta.analyze_array \
+        --max-regression 0.20
 
-Exit status is non-zero only when the guarded stage exists in *both* reports
-and its wall time regressed by more than ``--max-regression``.  A missing
+``--stage`` is repeatable; each named stage is guarded independently.  Exit
+status is non-zero only when a guarded stage exists in *both* reports and
+its wall time regressed by more than ``--max-regression``.  A missing
 previous report (first run on a branch, expired artifact) or a stage absent
 from either side is reported and tolerated, so the guard cannot brick CI on
 cold starts.
@@ -35,8 +37,13 @@ def main(argv=None) -> int:
     parser.add_argument("current", type=Path, help="freshly generated BENCH_runtime.json")
     parser.add_argument(
         "--stage",
-        default="benchmarks.cross_validation",
-        help="stage whose wall time is guarded (default: benchmarks.cross_validation)",
+        action="append",
+        dest="stages",
+        default=None,
+        help=(
+            "stage whose wall time is guarded; repeatable "
+            "(default: benchmarks.cross_validation)"
+        ),
     )
     parser.add_argument(
         "--max-regression",
@@ -67,27 +74,29 @@ def main(argv=None) -> int:
                 delta = f"{'n/a':>8}"
             print(f"{name:<40} {before:>9.2f}s {after:>9.2f}s {delta}")
 
-    if args.stage not in previous or args.stage not in current:
-        print(f"stage {args.stage!r} missing from one report; skipping the guard (ok)")
-        return 0
-
-    before, after = previous[args.stage], current[args.stage]
-    if before <= 0:
-        print(f"previous {args.stage} time is {before}; skipping the guard (ok)")
-        return 0
-    regression = after / before - 1.0
-    if regression > args.max_regression:
-        print(
-            f"FAIL: {args.stage} regressed {regression * 100.0:+.1f}% "
-            f"({before:.2f}s -> {after:.2f}s, tolerance {args.max_regression * 100.0:.0f}%)",
-            file=sys.stderr,
-        )
-        return 1
-    print(
-        f"OK: {args.stage} {before:.2f}s -> {after:.2f}s "
-        f"({regression * 100.0:+.1f}%, tolerance {args.max_regression * 100.0:.0f}%)"
-    )
-    return 0
+    status = 0
+    for stage in args.stages or ["benchmarks.cross_validation"]:
+        if stage not in previous or stage not in current:
+            print(f"stage {stage!r} missing from one report; skipping the guard (ok)")
+            continue
+        before, after = previous[stage], current[stage]
+        if before <= 0:
+            print(f"previous {stage} time is {before}; skipping the guard (ok)")
+            continue
+        regression = after / before - 1.0
+        if regression > args.max_regression:
+            print(
+                f"FAIL: {stage} regressed {regression * 100.0:+.1f}% "
+                f"({before:.2f}s -> {after:.2f}s, tolerance {args.max_regression * 100.0:.0f}%)",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                f"OK: {stage} {before:.2f}s -> {after:.2f}s "
+                f"({regression * 100.0:+.1f}%, tolerance {args.max_regression * 100.0:.0f}%)"
+            )
+    return status
 
 
 if __name__ == "__main__":

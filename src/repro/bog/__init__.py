@@ -9,7 +9,16 @@ used to verify that all variants are equivalent.
 from repro.bog.graph import BOG, BOG_VARIANTS, Endpoint, Node, NodeType, VARIANT_OPERATORS
 from repro.bog.builder import build_sog, bit_name
 from repro.bog.transforms import convert, build_variants
-from repro.bog.simulate import evaluate_endpoints, evaluate_nodes, evaluate_signal_words
+from repro.bog.simulate import (
+    PACKED_LANES,
+    evaluate_endpoints,
+    evaluate_endpoints_packed,
+    evaluate_nodes,
+    evaluate_nodes_packed,
+    evaluate_signal_words,
+    pack_source_vectors,
+    unpack_lane,
+)
 
 __all__ = [
     "BOG",
@@ -22,7 +31,12 @@ __all__ = [
     "bit_name",
     "convert",
     "build_variants",
+    "PACKED_LANES",
     "evaluate_endpoints",
+    "evaluate_endpoints_packed",
     "evaluate_nodes",
+    "evaluate_nodes_packed",
     "evaluate_signal_words",
+    "pack_source_vectors",
+    "unpack_lane",
 ]

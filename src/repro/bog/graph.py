@@ -310,13 +310,24 @@ class BOG:
         return counts
 
     def topological_order(self) -> List[int]:
-        """Node ids in topological order (sources first).
+        """Node ids in topological order (sources first), validated.
 
-        The construction order is already topological because fanins must
-        exist before an operator referencing them can be created, so this is
-        simply the identity permutation; it exists as an explicit method to
-        document (and let tests assert) the invariant.
+        The construction order is topological because fanins must exist
+        before an operator referencing them can be created — but transforms
+        build graphs by hand, so the invariant is *checked* here (O(V+E))
+        rather than assumed: a graph whose ids are not a topological order
+        raises instead of letting evaluators silently read stale fanin
+        values.  Both the scalar and the bit-packed simulators iterate this
+        order, and the levelization they share
+        (:meth:`levels`) relies on the same invariant.
         """
+        for node in self.nodes:
+            for fanin in node.fanins:
+                if not 0 <= fanin < node.id:
+                    raise ValueError(
+                        f"node {node.id} has fanin {fanin} that does not precede it; "
+                        "node ids are not a topological order"
+                    )
         return list(range(len(self.nodes)))
 
     def levels(self) -> List[int]:

@@ -18,6 +18,14 @@ Known fault points (each perturbs one side of a differential pair):
   diverging from the bit-blasted ripple-carry adder.
 * ``gbm.hist_threshold`` — the histogram splitter nudges every chosen cut
   threshold upward, diverging from the exact splitter's partitions.
+* ``sta.array_delay`` — the array STA kernel
+  (:meth:`repro.sta.csr.CSRTimingGraph.sweep`) perturbs every gate's
+  candidate arrival by 1e-6, so the array backend diverges from the
+  per-vertex reference kernel on any design with a combinational gate
+  (caught by the ``array_vs_reference_sta`` oracle).
+* ``simulate.packed_and`` — the bit-packed simulator evaluates AND nodes as
+  OR, diverging from the scalar :func:`repro.bog.simulate.evaluate_nodes`
+  (caught by the ``packed_vs_scalar_sim`` oracle).
 
 The hooks are read from the environment on every call so tests can flip
 them with ``monkeypatch.setenv`` without import-order concerns; the lookup

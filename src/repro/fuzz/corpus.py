@@ -79,6 +79,10 @@ SIZE_CLASSES: Dict[str, SizeClass] = {
     "tiny": SizeClass("tiny", (1, 6), (1, 2), (1, 3), (0, 3), (1, 3), 0.25),
     "small": SizeClass("small", (2, 10), (2, 4), (2, 4), (0, 4), (2, 4), 0.1),
     "medium": SizeClass("medium", (6, 16), (3, 6), (3, 6), (2, 6), (2, 5), 0.0),
+    # 1k+ node designs for the array/packed kernel oracles; too slow for
+    # synthesis-heavy oracles, so campaigns pair it with a check subset and
+    # a wall-clock budget (``CampaignConfig.max_seconds``).
+    "large": SizeClass("large", (16, 32), (6, 10), (6, 10), (4, 8), (3, 6), 0.0),
 }
 
 

@@ -15,7 +15,12 @@ violation messages (empty list == clean):
   round-trip must reproduce the record byte-for-byte
   (:func:`~repro.runtime.cache.record_fingerprint`);
 * ``parallel_vs_serial`` — pool-worker record builds must be byte-identical
-  to in-process builds.
+  to in-process builds;
+* ``array_vs_reference_sta`` — the level-sweep array STA kernel against the
+  per-vertex reference kernel, bit for bit, on pseudo networks with
+  randomized derates and wire loads;
+* ``packed_vs_scalar_sim`` — uint64 bit-packed batch simulation against the
+  scalar evaluator, lane by lane, on every BOG variant.
 
 A :class:`FuzzContext` lazily shares the expensive artifacts (analyzed
 design, BOG variants, full DesignRecord) between the oracles of one design.
@@ -31,7 +36,14 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.bog.builder import bit_name
-from repro.bog.simulate import evaluate_signal_words
+from repro.bog.simulate import (
+    PACKED_LANES,
+    evaluate_nodes,
+    evaluate_nodes_packed,
+    evaluate_signal_words,
+    pack_source_vectors,
+    unpack_lane,
+)
 from repro.bog.transforms import build_variants
 from repro.core.dataset import DesignRecord, build_design_record
 from repro.core.features import extract_path_dataset
@@ -43,8 +55,9 @@ from repro.incremental.patches import AddExtraLoad, RewireFanins, SetDerate, Swa
 from repro.ml.tree import DecisionTreeRegressor, NewtonTreeRegressor, resolve_max_bins
 from repro.runtime.cache import ArtifactCache, record_fingerprint
 from repro.runtime.parallel import parallel_build_records
+from repro.sta.constraints import ClockConstraint
 from repro.sta.engine import analyze as sta_analyze
-from repro.sta.network import VertexKind
+from repro.sta.network import VertexKind, from_bog
 
 #: Numeric tolerance of the incremental-vs-full oracle (matches the
 #: property tests in ``tests/test_incremental.py``; both paths share
@@ -317,6 +330,84 @@ def parallel_vs_serial(ctx: FuzzContext, rng: random.Random) -> List[str]:
     return problems
 
 
+def array_vs_reference_sta(ctx: FuzzContext, rng: random.Random) -> List[str]:
+    """Array level-sweep STA kernel vs the per-vertex reference, bit for bit.
+
+    Runs on pseudo networks lowered from two BOG variants (no synthesis, so
+    the oracle stays cheap enough for the ``large`` size class) with
+    randomized derates and wire loads thrown in to exercise the attribute
+    columns, not just the compiled structure.
+    """
+    clock = ClockConstraint(period=1000.0)
+    problems: List[str] = []
+    for variant in ("sog", "xag"):
+        network = from_bog(ctx.variants[variant])
+        n = len(network.vertices)
+        for _ in range(min(16, n)):
+            vertex = network.vertices[rng.randrange(n)]
+            vertex.derate = rng.uniform(0.4, 1.6)
+            vertex.extra_load = rng.uniform(0.0, 6.0)
+        reference = sta_analyze(network, clock, kernel="reference")
+        array = sta_analyze(network, clock, kernel="array")
+        for label, ref_values, array_values in (
+            ("loads", reference.loads, array.loads),
+            ("arrivals", reference.arrivals, array.arrivals),
+            ("slews", reference.slews, array.slews),
+        ):
+            if not np.array_equal(ref_values, array_values):
+                worst = float(np.max(np.abs(ref_values - array_values)))
+                problems.append(
+                    f"{variant}: array kernel {label} diverge from the reference "
+                    f"kernel by {worst:.3e} (bit-identical required)"
+                )
+        if reference.wns != array.wns or reference.tns != array.tns:
+            problems.append(
+                f"{variant}: WNS/TNS mismatch between kernels "
+                f"({array.wns:.9f}/{array.tns:.9f} vs "
+                f"{reference.wns:.9f}/{reference.tns:.9f})"
+            )
+        if problems:
+            return problems
+    return problems
+
+
+def packed_vs_scalar_sim(
+    ctx: FuzzContext, rng: random.Random, n_check_lanes: int = 6
+) -> List[str]:
+    """uint64 bit-packed batch simulation vs the scalar evaluator, per lane.
+
+    Packs 64 random stimulus vectors per variant, then cross-checks a random
+    sample of lanes (plus lane 0 and 63, the word boundaries) against the
+    scalar reference evaluator on the identical assignment.
+    """
+    problems: List[str] = []
+    for variant, graph in ctx.variants.items():
+        names = list(graph.sources)
+        vectors = [
+            {name: rng.getrandbits(1) for name in names} for _ in range(PACKED_LANES)
+        ]
+        packed_values = evaluate_nodes_packed(graph, pack_source_vectors(vectors))
+        lanes = {0, PACKED_LANES - 1}
+        lanes.update(rng.sample(range(PACKED_LANES), n_check_lanes))
+        for lane in sorted(lanes):
+            scalar = evaluate_nodes(graph, vectors[lane])
+            lane_values = unpack_lane(packed_values, lane)
+            if lane_values != scalar:
+                first = next(
+                    i for i, (a, b) in enumerate(zip(lane_values, scalar)) if a != b
+                )
+                problems.append(
+                    f"{variant}: packed lane {lane} diverges from scalar "
+                    f"evaluation, first at node {first} "
+                    f"({graph.nodes[first].type.value}: packed "
+                    f"{lane_values[first]}, scalar {scalar[first]})"
+                )
+                break
+        if problems:
+            return problems
+    return problems
+
+
 #: Registry: oracle name -> callable.  ``DEFAULT_CADENCE`` spaces out the
 #: oracles whose cost is a full extra record build.
 ORACLES: Dict[str, OracleFn] = {
@@ -325,6 +416,8 @@ ORACLES: Dict[str, OracleFn] = {
     "hist_vs_exact_gbm": hist_vs_exact_gbm,
     "build_determinism": build_determinism,
     "parallel_vs_serial": parallel_vs_serial,
+    "array_vs_reference_sta": array_vs_reference_sta,
+    "packed_vs_scalar_sim": packed_vs_scalar_sim,
 }
 
 DEFAULT_CADENCE: Dict[str, int] = {
@@ -333,4 +426,6 @@ DEFAULT_CADENCE: Dict[str, int] = {
     "hist_vs_exact_gbm": 1,
     "build_determinism": 5,
     "parallel_vs_serial": 12,
+    "array_vs_reference_sta": 1,
+    "packed_vs_scalar_sim": 1,
 }

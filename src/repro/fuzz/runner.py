@@ -68,6 +68,11 @@ class CampaignConfig:
     max_shrink_trials: int = 48
     artifacts_dir: Optional[str] = DEFAULT_ARTIFACTS_DIR
     stop_on_first: bool = False
+    #: Wall-clock budget: no new design is started once this many seconds
+    #: have elapsed (designs already started always finish, so violations
+    #: are never half-reported).  ``None`` means unbounded.  Lets CI lanes
+    #: include expensive size classes (``large``) at a flat time cost.
+    max_seconds: Optional[float] = None
 
     def effective_cadence(self, check: str) -> int:
         cadence = self.cadence if self.cadence is not None else DEFAULT_CADENCE
@@ -84,6 +89,8 @@ class CampaignResult:
     violations: List[OracleViolation] = field(default_factory=list)
     bundle_paths: List[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: True when ``max_seconds`` cut the campaign short of ``iterations``.
+    budget_exhausted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -92,9 +99,10 @@ class CampaignResult:
     def summary(self) -> str:
         status = "CLEAN" if self.ok else f"{len(self.violations)} VIOLATION(S)"
         runs = ", ".join(f"{name}×{count}" for name, count in sorted(self.oracle_runs.items()))
+        budget = " (budget exhausted)" if self.budget_exhausted else ""
         return (
             f"fuzz campaign seed={self.config.seed} designs={self.n_designs} "
-            f"[{runs}] in {self.elapsed_seconds:.1f}s: {status}"
+            f"[{runs}] in {self.elapsed_seconds:.1f}s{budget}: {status}"
         )
 
 
@@ -268,6 +276,12 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
     started = time.perf_counter()
     with report_mod.stage("fuzz.campaign"):
         for iteration in range(config.iterations):
+            if (
+                config.max_seconds is not None
+                and time.perf_counter() - started >= config.max_seconds
+            ):
+                result.budget_exhausted = True
+                break
             size_class = config.size_classes[iteration % len(config.size_classes)]
             seed = design_seed_for(config.seed, iteration)
             with report_mod.stage("fuzz.generate"):
@@ -351,6 +365,12 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
         "--stop-on-first", action="store_true", help="stop at the first violation"
     )
     parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget; no new design starts after this (default: unbounded)",
+    )
+    parser.add_argument(
         "--bench-out",
         default=None,
         help="runtime-report path (default: $REPRO_BENCH_OUT or BENCH_runtime.json)",
@@ -393,6 +413,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_shrink_trials=args.max_shrink_trials,
         artifacts_dir=args.artifacts_dir,
         stop_on_first=args.stop_on_first,
+        max_seconds=args.max_seconds,
     )
     report = report_mod.RuntimeReport(meta={"fuzz_seed": config.seed})
     with report_mod.activate(report):

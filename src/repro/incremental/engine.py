@@ -41,11 +41,13 @@ from repro.faults import fault_active
 from repro.incremental.patches import TimingPatch
 from repro.runtime import report as report_mod
 from repro.sta.constraints import ClockConstraint
+from repro.sta.csr import AttributeColumns
 from repro.sta.engine import (
     STAReport,
     analyze,
     endpoint_timing,
     propagate_vertex,
+    resolve_kernel,
     summarize_slacks,
 )
 from repro.sta.network import TimingNetwork
@@ -87,6 +89,12 @@ class IncrementalSTA:
         self._report = baseline if baseline is not None else analyze(network, clock)
         self.last_stats: Optional[PropagationStats] = None
         self._endpoint_caps_cache: Optional[Dict[int, List[float]]] = None
+        # Attribute-column cache of the array kernel path: valid for one
+        # compiled structure; rows a patch set touched are re-gathered at the
+        # start of the next pass (covering both committed and reverted edits).
+        self._columns: Optional[AttributeColumns] = None
+        self._columns_csr = None
+        self._stale_columns: Set[int] = set()
 
     # -- public API ----------------------------------------------------------
 
@@ -97,6 +105,9 @@ class IncrementalSTA:
     def refresh(self) -> STAReport:
         """Recompute from scratch (e.g. after un-patched external edits)."""
         self._endpoint_caps_cache = None
+        self._columns = None
+        self._columns_csr = None
+        self._stale_columns = set()
         self._report = analyze(self.network, self.clock)
         return self._report
 
@@ -162,6 +173,101 @@ class IncrementalSTA:
             total += vertices[vertex_id].extra_load
         return total
 
+    def _propagate_reference(
+        self, seeds: Set[int], fanouts, position, arrivals, slews, loads
+    ):
+        """Per-vertex dirty-cone worklist over :func:`propagate_vertex`."""
+        heap = [(int(position[v]), v) for v in seeds]
+        heapq.heapify(heap)
+        queued: Set[int] = set(seeds)
+        changed_drivers: Set[int] = set()
+        recomputed = 0
+        network = self.network
+        while heap:
+            _, vertex_id = heapq.heappop(heap)
+            queued.discard(vertex_id)
+            vertex = network.vertices[vertex_id]
+            arrival, slew = propagate_vertex(
+                vertex, self.clock, arrivals, slews, loads[vertex_id]
+            )
+            recomputed += 1
+            if arrival == arrivals[vertex_id] and slew == slews[vertex_id]:
+                continue  # downstream values are unchanged by construction
+            arrivals[vertex_id] = arrival
+            slews[vertex_id] = slew
+            changed_drivers.add(vertex_id)
+            for consumer in fanouts[vertex_id]:
+                if consumer not in queued:
+                    queued.add(consumer)
+                    heapq.heappush(heap, (int(position[consumer]), consumer))
+        return changed_drivers, recomputed
+
+    def _columns_for(self, compiled, dirty: Set[int]) -> AttributeColumns:
+        """Cached attribute columns, with the patch-touched rows re-gathered.
+
+        Rows touched by the previous pass are also refreshed: a ``what_if``
+        reverts its patches *after* propagation, so the values gathered for
+        that pass are stale by the time the next one starts.
+        """
+        if self._columns is None or self._columns_csr is not compiled:
+            self._columns = compiled.columns(self.network)
+            self._columns_csr = compiled
+        else:
+            refresh = self._stale_columns | dirty
+            if refresh:
+                self._columns.refresh(self.network, sorted(refresh))
+        self._stale_columns = set(dirty)
+        return self._columns
+
+    def _propagate_array(self, seeds: Set[int], arrivals, slews, loads):
+        """Dirty level-slice re-sweep sharing the full analysis' array kernel.
+
+        Dirty vertices are bucketed by logic level and each bucket is
+        re-evaluated with one :meth:`~repro.sta.csr.CSRTimingGraph.sweep`
+        call; consumers of vertices whose values changed join the bucket of
+        their (strictly higher) level.  Visit set, early stopping and every
+        float are identical to the reference worklist.
+        """
+        compiled = self.network.compiled()
+        cols = self._columns_for(compiled, seeds)
+        level = compiled.level
+        fo_ptr = compiled.fanout_indptr
+        fo_idx = compiled.fanout_indices
+        buckets: Dict[int, Set[int]] = {}
+        pending: List[int] = []
+        for v in seeds:
+            lvl = int(level[v])
+            bucket = buckets.get(lvl)
+            if bucket is None:
+                buckets[lvl] = {v}
+                heapq.heappush(pending, lvl)
+            else:
+                bucket.add(v)
+        changed_drivers: Set[int] = set()
+        recomputed = 0
+        while pending:
+            lvl = heapq.heappop(pending)
+            members = buckets.pop(lvl)
+            ids = np.fromiter(sorted(members), dtype=np.int64, count=len(members))
+            old_arrivals = arrivals[ids]
+            old_slews = slews[ids]
+            compiled.sweep(ids, cols, self.clock, arrivals, slews, loads)
+            recomputed += len(ids)
+            changed = ids[(arrivals[ids] != old_arrivals) | (slews[ids] != old_slews)]
+            for v in changed:
+                vertex_id = int(v)
+                changed_drivers.add(vertex_id)
+                for consumer in fo_idx[fo_ptr[vertex_id] : fo_ptr[vertex_id + 1]]:
+                    consumer_id = int(consumer)
+                    consumer_level = int(level[consumer_id])
+                    bucket = buckets.get(consumer_level)
+                    if bucket is None:
+                        buckets[consumer_level] = {consumer_id}
+                        heapq.heappush(pending, consumer_level)
+                    else:
+                        bucket.add(consumer_id)
+        return changed_drivers, recomputed
+
     def _propagate(self, patches: Sequence[TimingPatch]) -> STAReport:
         network = self.network
         base = self._report
@@ -196,29 +302,14 @@ class IncrementalSTA:
                     loads[vertex_id] = self._recompute_load(vertex_id, fanouts, endpoint_caps)
 
             seeds = dirty_delay | dirty_load
-            heap = [(int(position[v]), v) for v in seeds]
-            heapq.heapify(heap)
-            queued: Set[int] = set(seeds)
-            changed_drivers: Set[int] = set()
-            recomputed = 0
-
-            while heap:
-                _, vertex_id = heapq.heappop(heap)
-                queued.discard(vertex_id)
-                vertex = network.vertices[vertex_id]
-                arrival, slew = propagate_vertex(
-                    vertex, self.clock, arrivals, slews, loads[vertex_id]
+            if resolve_kernel() == "array":
+                changed_drivers, recomputed = self._propagate_array(
+                    seeds, arrivals, slews, loads
                 )
-                recomputed += 1
-                if arrival == arrivals[vertex_id] and slew == slews[vertex_id]:
-                    continue  # downstream values are unchanged by construction
-                arrivals[vertex_id] = arrival
-                slews[vertex_id] = slew
-                changed_drivers.add(vertex_id)
-                for consumer in fanouts[vertex_id]:
-                    if consumer not in queued:
-                        queued.add(consumer)
-                        heapq.heappush(heap, (int(position[consumer]), consumer))
+            else:
+                changed_drivers, recomputed = self._propagate_reference(
+                    seeds, fanouts, position, arrivals, slews, loads
+                )
 
             endpoints = [
                 endpoint_timing(endpoint, self.clock, arrivals)

@@ -8,7 +8,15 @@ from repro.sta.network import (
     VertexKind,
     from_bog,
 )
-from repro.sta.engine import EndpointTiming, STAReport, analyze, compute_loads
+from repro.sta.csr import AttributeColumns, CSRTimingGraph
+from repro.sta.engine import (
+    STA_KERNEL_ENV_VAR,
+    EndpointTiming,
+    STAReport,
+    analyze,
+    compute_loads,
+    resolve_kernel,
+)
 from repro.sta.paths import (
     TimingPath,
     driving_launch_points,
@@ -26,10 +34,14 @@ __all__ = [
     "TimingVertex",
     "VertexKind",
     "from_bog",
+    "AttributeColumns",
+    "CSRTimingGraph",
+    "STA_KERNEL_ENV_VAR",
     "EndpointTiming",
     "STAReport",
     "analyze",
     "compute_loads",
+    "resolve_kernel",
     "TimingPath",
     "driving_launch_points",
     "input_cone",

@@ -10,6 +10,7 @@ the quantities PrimeTime provides in the paper's flow.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -17,6 +18,24 @@ import numpy as np
 
 from repro.sta.constraints import ClockConstraint
 from repro.sta.network import TimingNetwork, VertexKind
+
+#: Environment knob selecting the STA kernel backend: ``array`` (default,
+#: level-sweep numpy kernel over the compiled CSR graph) or ``reference``
+#: (the per-vertex Python loop).  The two are bit-identical by contract.
+STA_KERNEL_ENV_VAR = "REPRO_STA_KERNEL"
+
+_KERNELS = ("array", "reference")
+
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """The kernel backend to use: explicit argument, else env var, else array."""
+    value = kernel if kernel is not None else os.environ.get(STA_KERNEL_ENV_VAR) or "array"
+    if value not in _KERNELS:
+        raise ValueError(
+            f"unknown STA kernel {value!r} (from ${STA_KERNEL_ENV_VAR}); "
+            f"choose one of {_KERNELS}"
+        )
+    return value
 
 
 @dataclass(slots=True)
@@ -172,19 +191,33 @@ def analyze(
     network: TimingNetwork,
     clock: ClockConstraint,
     loads: Optional[np.ndarray] = None,
+    kernel: Optional[str] = None,
 ) -> STAReport:
-    """Run setup STA on ``network`` against ``clock``."""
+    """Run setup STA on ``network`` against ``clock``.
+
+    ``kernel`` selects the backend (``array``/``reference``; default from
+    ``$REPRO_STA_KERNEL``, else the array kernel).  Both backends produce
+    bit-identical reports: the array path evaluates the same NLDM recurrence
+    as :func:`propagate_vertex`, one whole level per numpy sweep.
+    """
     n = len(network.vertices)
-    if loads is None:
-        loads = compute_loads(network)
     arrivals = np.zeros(n)
     slews = np.full(n, clock.input_slew)
 
-    for vertex_id in network.topological_order():
-        vertex = network.vertices[vertex_id]
-        arrivals[vertex_id], slews[vertex_id] = propagate_vertex(
-            vertex, clock, arrivals, slews, loads[vertex_id]
-        )
+    if resolve_kernel(kernel) == "array":
+        compiled = network.compiled()
+        cols = compiled.columns(network)
+        if loads is None:
+            loads = compiled.compute_loads(network, cols)
+        compiled.sweep_all(cols, clock, arrivals, slews, loads)
+    else:
+        if loads is None:
+            loads = compute_loads(network)
+        for vertex_id in network.topological_order():
+            vertex = network.vertices[vertex_id]
+            arrivals[vertex_id], slews[vertex_id] = propagate_vertex(
+                vertex, clock, arrivals, slews, loads[vertex_id]
+            )
 
     endpoints: List[EndpointTiming] = [
         endpoint_timing(endpoint, clock, arrivals) for endpoint in network.endpoints

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from repro.bog.graph import BOG, NodeType
 from repro.liberty import Cell, Library, PSEUDO_FUNCTION_OF_NODE, pseudo_library
+from repro.sta.csr import CSRTimingGraph
 
 
 class VertexKind(enum.Enum):
@@ -72,6 +73,18 @@ class TimingNetwork:
         self.endpoints: List[TimingEndpoint] = []
         self._fanouts: Optional[List[List[int]]] = None
         self._topo: Optional[List[int]] = None
+        self._csr: Optional[CSRTimingGraph] = None
+
+    def __getstate__(self) -> dict:
+        # The compiled CSR view (and the thin views derived from it) is a pure
+        # function of the structure, rebuilt lazily on demand.  Dropping it
+        # from pickles keeps record fingerprints independent of whether an
+        # analysis has run on this network instance yet.
+        state = self.__dict__.copy()
+        state["_fanouts"] = None
+        state["_topo"] = None
+        state["_csr"] = None
+        return state
 
     # -- construction --------------------------------------------------------
 
@@ -92,6 +105,7 @@ class TimingNetwork:
         self.vertices.append(vertex)
         self._fanouts = None
         self._topo = None
+        self._csr = None
         return vertex.id
 
     def add_endpoint(self, endpoint: TimingEndpoint) -> None:
@@ -102,46 +116,55 @@ class TimingNetwork:
     def __len__(self) -> int:
         return len(self.vertices)
 
+    def compiled(self) -> CSRTimingGraph:
+        """The compiled CSR/levelized view of the current structure, cached.
+
+        Compilation is lazy: the first structural query after a change
+        (``add_vertex`` or :meth:`invalidate`) rebuilds it; value edits
+        (``derate``, ``extra_load``, cell swaps) do not require one because
+        attribute columns are gathered separately per analysis.  Raises
+        ``ValueError`` when the graph has a combinational cycle.
+        """
+        if self._csr is None:
+            self._csr = CSRTimingGraph(self)
+        return self._csr
+
     def fanouts(self) -> List[List[int]]:
-        """Fanout adjacency, cached until the next structural change."""
+        """Fanout adjacency (thin view over the compiled CSR arrays), cached."""
         if self._fanouts is None:
-            fanouts: List[List[int]] = [[] for _ in self.vertices]
-            for vertex in self.vertices:
-                for fanin in vertex.fanins:
-                    fanouts[fanin].append(vertex.id)
-            self._fanouts = fanouts
+            self._fanouts = self.compiled().fanout_lists()
         return self._fanouts
 
     def invalidate(self) -> None:
         """Drop cached adjacency after in-place edits (sizing, retiming)."""
         self._fanouts = None
         self._topo = None
+        self._csr = None
 
     def topological_order(self) -> List[int]:
-        """Vertex ids in topological order (Kahn's algorithm), cached.
+        """Vertex ids in topological order (thin view over the compiled graph).
 
         Structural edits such as retiming may append vertices whose ids are
         larger than their consumers', so the id order is not necessarily
-        topological; this method computes a valid order explicitly.
+        topological; this method returns the compiled levelized order.
+
+        Determinism contract: the order is *level-major* — vertices sorted by
+        logic level (``level = 1 + max fanin level``), ascending id within a
+        level.  It is therefore a pure function of the graph structure:
+        recompiling after :meth:`invalidate` (or rebuilding an identical
+        network) reproduces the identical order, independent of insertion
+        history.  Historically this method used a LIFO Kahn worklist whose
+        order depended on insertion details; every consumer is an
+        order-insensitive topological DP, but the compiled order is the one
+        now guaranteed stable.
         """
-        if self._topo is not None:
-            return self._topo
-        n = len(self.vertices)
-        indegree = [len(v.fanins) for v in self.vertices]
-        fanouts = self.fanouts()
-        ready = [v.id for v in self.vertices if indegree[v.id] == 0]
-        order: List[int] = []
-        while ready:
-            current = ready.pop()
-            order.append(current)
-            for consumer in fanouts[current]:
-                indegree[consumer] -= 1
-                if indegree[consumer] == 0:
-                    ready.append(consumer)
-        if len(order) != n:
-            raise ValueError(f"timing network {self.name!r} contains a combinational cycle")
-        self._topo = order
-        return order
+        if self._topo is None:
+            self._topo = self.compiled().topological_list()
+        return self._topo
+
+    def levels(self) -> List[int]:
+        """Logic level of each vertex (sources at level 0)."""
+        return self.compiled().level.tolist()
 
     def launch_points(self) -> List[TimingVertex]:
         return [v for v in self.vertices if v.is_launch_point]

@@ -80,6 +80,7 @@ def test_serving_doc_covers_every_env_knob():
     from repro.runtime.parallel import JOBS_ENV_VAR
     from repro.runtime.report import BENCH_ENV_VAR
     from repro.serve.registry import MODEL_DIR_ENV_VAR
+    from repro.sta.engine import STA_KERNEL_ENV_VAR
 
     for variable in (
         FEATURE_CACHE_DISK_ENV_VAR,
@@ -94,6 +95,7 @@ def test_serving_doc_covers_every_env_knob():
         JOBS_ENV_VAR,
         BENCH_ENV_VAR,
         MODEL_DIR_ENV_VAR,
+        STA_KERNEL_ENV_VAR,
     ):
         assert variable in serving, f"docs/serving.md does not document {variable}"
 

@@ -26,11 +26,14 @@ from repro.fuzz.corpus import (
     generate_fuzz_design,
 )
 from repro.fuzz.oracles import (
+    DEFAULT_CADENCE,
     ORACLES,
     FuzzContext,
+    array_vs_reference_sta,
     hist_vs_exact_gbm,
     incremental_vs_full,
     interpret_vs_simulate,
+    packed_vs_scalar_sim,
 )
 from repro.fuzz.runner import (
     BUNDLE_SCHEMA,
@@ -41,6 +44,7 @@ from repro.fuzz.runner import (
     run_campaign,
     shrink_design,
 )
+from repro.bog.builder import build_sog
 from repro.hdl.generate import DesignSpec, GeneratorConfig
 from repro.runtime import RuntimeReport, activate
 
@@ -139,6 +143,71 @@ class TestOraclesClean:
         ctx = FuzzContext(fuzz)
         for check in TIER1_CHECKS:
             assert ORACLES[check](ctx, random.Random(0)) == []
+
+
+class TestKernelOracles:
+    """The array-vs-reference STA and packed-vs-scalar simulation oracles."""
+
+    def test_kernel_oracles_registered(self):
+        assert "array_vs_reference_sta" in ORACLES
+        assert "packed_vs_scalar_sim" in ORACLES
+        assert DEFAULT_CADENCE["array_vs_reference_sta"] == 1
+        assert DEFAULT_CADENCE["packed_vs_scalar_sim"] == 1
+
+    def test_kernel_oracles_clean_on_fixed_design(self):
+        fuzz = generate_fuzz_design(design_seed_for(0, 0), "tiny")
+        ctx = FuzzContext(fuzz)
+        assert array_vs_reference_sta(ctx, random.Random(11)) == []
+        assert packed_vs_scalar_sim(ctx, random.Random(11)) == []
+
+    def test_array_delay_fault_caught(self, monkeypatch):
+        fuzz = generate_fuzz_design(design_seed_for(0, 0), "tiny")
+        monkeypatch.setenv(FAULT_ENV_VAR, "sta.array_delay")
+        broken = array_vs_reference_sta(FuzzContext(fuzz), random.Random(11))
+        assert broken, "perturbed edge delay must diverge from the reference kernel"
+
+    def test_packed_and_fault_caught(self, monkeypatch):
+        fuzz = generate_fuzz_design(design_seed_for(0, 0), "tiny")
+        monkeypatch.setenv(FAULT_ENV_VAR, "simulate.packed_and")
+        broken = packed_vs_scalar_sim(FuzzContext(fuzz), random.Random(11))
+        assert broken, "AND-as-OR in the packed evaluator must diverge from scalar"
+
+    def test_large_size_class_reaches_kernel_scale(self):
+        """The ``large`` class exists to exercise the array kernels at depth."""
+        assert "large" in SIZE_CLASSES
+        fuzz = generate_fuzz_design(0, "large")
+        sog = build_sog(fuzz.analyzed())
+        assert len(sog.nodes) >= 1000
+
+
+class TestCampaignBudget:
+    def test_zero_budget_runs_no_designs(self):
+        config = _tiny_campaign(iterations=5, max_seconds=0.0)
+        result = run_campaign(config)
+        assert result.n_designs == 0
+        assert result.budget_exhausted
+        assert result.ok
+        assert "budget exhausted" in result.summary()
+
+    def test_no_budget_by_default(self):
+        result = run_campaign(_tiny_campaign(iterations=1))
+        assert not result.budget_exhausted
+        assert "budget exhausted" not in result.summary()
+
+    def test_cli_max_seconds_flag(self, tmp_path, capsys):
+        code = main(
+            [
+                "--seed", "0",
+                "--iterations", "4",
+                "--size-classes", "tiny",
+                "--checks", "interpret_vs_simulate",
+                "--max-seconds", "0",
+                "--artifacts-dir", str(tmp_path),
+                "--bench-out", str(tmp_path / "bench.json"),
+            ]
+        )
+        assert code == 0
+        assert "budget exhausted" in capsys.readouterr().out
 
 
 class TestFaultInjection:
