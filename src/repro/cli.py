@@ -180,14 +180,25 @@ def cmd_serve(args) -> int:
 
     registry = _registry(args)
     timer, manifest = registry.load_with_manifest(args.model)
-    service = TimingService(
-        timer,
-        ServeConfig(
-            max_batch=args.max_batch,
-            batch_window_s=args.batch_window_ms / 1000.0,
-        ),
-        manifest=manifest,
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1000.0,
     )
+    if args.workers > 0:
+        from repro.serve.service import PooledTimingService
+        from repro.serve.supervisor import PoolConfig
+
+        service = PooledTimingService(
+            timer,
+            config,
+            manifest=manifest,
+            pool_config=PoolConfig.from_env(workers=args.workers),
+            # Workers (re)load the verified registry payload, not a pickle of
+            # the parent's in-memory state — exactly what a restart would see.
+            payload_provider=lambda: registry.payload(args.model)[0],
+        )
+    else:
+        service = TimingService(timer, config, manifest=manifest)
     server = start_server(service, host=args.host, port=args.port, verbose=args.verbose)
     host, port = server.server_address
     print(
@@ -284,6 +295,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8421, help="bind port (default 8421; 0 = OS-assigned)")
     serve.add_argument("--max-batch", type=int, default=16, help="max requests fused per model pass")
     serve.add_argument("--batch-window-ms", type=float, default=5.0, help="micro-batch window (default 5 ms)")
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="supervised worker processes (0 = in-process serving; default 0)",
+    )
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
     serve.set_defaults(handler=cmd_serve)
 
@@ -300,6 +315,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="differential fuzz campaigns (see `python -m repro fuzz --help`)",
         add_help=False,
     )
+    subparsers.add_parser(
+        "chaos",
+        help="fault-injection campaign against the serving stack (see `python -m repro chaos --help`)",
+        add_help=False,
+    )
     return parser
 
 
@@ -311,6 +331,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.fuzz.runner import main as fuzz_main
 
         return fuzz_main(arguments[1:])
+    if arguments and arguments[0] == "chaos":
+        # Same pass-through pattern: the chaos harness owns its CLI.
+        from repro.serve.chaos import main as chaos_main
+
+        return chaos_main(arguments[1:])
     parser = build_parser()
     args = parser.parse_args(arguments)
     if not getattr(args, "command", None):

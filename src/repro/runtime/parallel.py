@@ -81,8 +81,11 @@ def _reintern(value: Any) -> Any:
 def _build_record_task(payload: Tuple[int, Any, Any]) -> Tuple[int, Any]:
     """Worker entry point: build one DesignRecord (must be module-level)."""
     from repro.core.dataset import build_design_record
+    from repro.faults import fault_fires
 
     index, spec, config = payload
+    if fault_fires("parallel.worker_crash", token=getattr(spec, "name", str(index))):
+        os._exit(13)  # hard exit: breaks the pool, exercising the retry path
     return index, build_design_record(_reintern(spec), _reintern(config))
 
 
@@ -122,17 +125,40 @@ def parallel_build_records(
         return serial()
 
     tasks = [(index, spec, config) for index, spec in enumerate(specs)]
+    results: dict = {}
+    failed: List[Tuple[int, Any, Any]] = []
     try:
         with report_mod.stage("dataset.build_parallel"):
             with _make_executor(jobs) as pool:
-                results = list(pool.map(_build_record_task, tasks, chunksize=1))
+                futures = []
+                for task in tasks:
+                    try:
+                        futures.append((task, pool.submit(_build_record_task, task)))
+                    except (OSError, ValueError, BrokenExecutor, RuntimeError):
+                        failed.append(task)
+                for task, future in futures:
+                    # One crashed worker breaks its own future — and, for a
+                    # BrokenProcessPool, every future still queued — but the
+                    # records already returned stay good.  Collect only the
+                    # losses; never discard completed work.
+                    try:
+                        index, record = future.result()
+                        results[index] = record
+                    except (OSError, ValueError, BrokenExecutor, pickle.PicklingError):
+                        failed.append(task)
     except (OSError, ValueError, BrokenExecutor, pickle.PicklingError):
-        # Pool creation or transport failed (sandbox, crashed worker, ...):
+        # Pool never stood up (sandbox without fork, unpicklable config):
         # degrade to the serial path instead of failing the build.
         report_mod.incr("parallel_fallbacks")
         return serial()
-    results.sort(key=lambda pair: pair[0])
-    return [record for _, record in results]
+    if failed:
+        # Retry exactly the failed specs serially in-process; a genuine
+        # per-design build error reproduces here with a clean traceback.
+        report_mod.incr("parallel_worker_retries", len(failed))
+        with report_mod.stage("dataset.build_retry_serial"):
+            for index, spec, _ in failed:
+                results[index] = build_design_record(spec, config)
+    return [results[index] for index in range(len(specs))]
 
 
 def build_dataset_parallel(

@@ -11,7 +11,13 @@ This package is the repo's train-once/serve-many boundary:
   micro-batches concurrent predict calls into single ``predict_batch``
   passes and records ``serve.*`` runtime stages,
 * :mod:`repro.serve.http` — a stdlib JSON-over-HTTP server exposing
-  ``/predict``, ``/whatif``, ``/health`` and ``/metrics``.
+  ``/predict``, ``/whatif``, ``/health`` and ``/metrics``,
+* :mod:`repro.serve.resilience` — admission control, per-dependency
+  circuit breakers, deadlines, and the bit-identical degradation ladder,
+* :mod:`repro.serve.supervisor` — the supervised pre-forked worker pool
+  behind :class:`~repro.serve.service.PooledTimingService`,
+* :mod:`repro.serve.chaos` — the seed-replayable fault-injection campaign
+  behind ``python -m repro chaos``.
 
 The ``python -m repro`` CLI (:mod:`repro.cli`) wires these together:
 ``train`` saves into the registry, ``serve`` loads from it and binds the
@@ -26,7 +32,16 @@ from repro.serve.registry import (
     load_model,
     save_model,
 )
-from repro.serve.service import ServeConfig, TimingService
+from repro.serve.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RejectedError,
+    WorkerUnavailable,
+)
+from repro.serve.service import PooledTimingService, ServeConfig, TimingService
+from repro.serve.supervisor import PoolConfig, WorkerPool
 from repro.serve.http import TimingHTTPServer, prediction_to_json, start_server
 
 __all__ = [
@@ -36,8 +51,17 @@ __all__ = [
     "default_model_dir",
     "load_model",
     "save_model",
+    "AdmissionController",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "RejectedError",
+    "WorkerUnavailable",
+    "PooledTimingService",
     "ServeConfig",
     "TimingService",
+    "PoolConfig",
+    "WorkerPool",
     "TimingHTTPServer",
     "prediction_to_json",
     "start_server",

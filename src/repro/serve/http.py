@@ -33,6 +33,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
 from repro.core.pipeline import RTLTimerPrediction
+from repro.serve.resilience import DeadlineExceeded, RejectedError, WorkerUnavailable
 from repro.serve.service import TimingService
 
 #: Maximum accepted request body (a Verilog source payload), in bytes.
@@ -65,18 +66,33 @@ class TimingRequestHandler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Dict[str, Any],
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_error_json(
+        self, status: int, message: str, headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        self._send_json({"error": message}, status=status, headers=headers)
 
     def _read_body(self) -> Optional[Dict[str, Any]]:
+        if "chunked" in (self.headers.get("Transfer-Encoding") or "").lower():
+            # No Content-Length means no upfront bound; accepting the frames
+            # would mean reading unbounded input into memory.
+            self.close_connection = True
+            self._send_error_json(413, "chunked request bodies are not accepted")
+            return None
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
@@ -86,9 +102,15 @@ class TimingRequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             self._send_error_json(400, "bad Content-Length header")
             return None
-        if length <= 0 or length > MAX_BODY_BYTES:
+        if length > MAX_BODY_BYTES:
             self.close_connection = True
-            self._send_error_json(400, f"request body must be 1..{MAX_BODY_BYTES} bytes")
+            self._send_error_json(
+                413, f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} byte cap"
+            )
+            return None
+        if length <= 0:
+            self.close_connection = True
+            self._send_error_json(400, "request body must not be empty")
             return None
         try:
             payload = json.loads(self.rfile.read(length))
@@ -180,6 +202,14 @@ class TimingRequestHandler(BaseHTTPRequestHandler):
                     ],
                 }
             self._send_json(response)
+        except RejectedError as exc:  # load shed: bounded queue said no
+            self._send_error_json(
+                429, str(exc), headers={"Retry-After": f"{exc.retry_after_s:g}"}
+            )
+        except DeadlineExceeded as exc:
+            self._send_error_json(504, str(exc) or "request deadline expired")
+        except WorkerUnavailable as exc:
+            self._send_error_json(503, str(exc) or "no serving worker available")
         except Exception as exc:  # a broken request must not kill the thread
             self._send_error_json(500, f"{type(exc).__name__}: {exc}")
 

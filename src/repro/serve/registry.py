@@ -353,6 +353,31 @@ class ModelRegistry:
         with report_mod.stage("serve.load_model"):
             return self._bundle(ref)
 
+    def payload(self, ref: str) -> Tuple[bytes, Dict[str, Any]]:
+        """Verified payload bytes + manifest, without restoring the model.
+
+        The worker pool ships these bytes to forked workers, which call
+        ``RTLTimer.from_state(pickle.loads(payload))`` themselves — one
+        registry read per (re)spawn, hash-checked here so a corrupt store
+        can never reach a worker.
+        """
+        bundle_id = self.resolve(ref)
+        bundle = self.cache.get(bundle_id)
+        if bundle is None:
+            raise RegistryError(
+                f"bundle {bundle_id} for model {ref!r} is missing or unreadable "
+                f"in {self.directory}"
+            )
+        if not isinstance(bundle, dict) or "manifest" not in bundle or "payload" not in bundle:
+            raise RegistryError("bundle does not have the manifest/payload layout")
+        manifest = _validate_manifest(bundle["manifest"], expected_id=bundle_id)
+        payload = bundle["payload"]
+        if not isinstance(payload, bytes) or bundle_id_for(payload) != manifest["bundle_id"]:
+            raise RegistryError(
+                "bundle payload does not hash to its recorded bundle id (corrupted bundle)"
+            )
+        return payload, manifest
+
     def manifest(self, ref: str) -> Dict[str, Any]:
         """The manifest of a bundle without restoring the model payload."""
         bundle_id = self.resolve(ref)

@@ -20,6 +20,7 @@ DOC_FILES = (
     "docs/architecture.md",
     "docs/api.md",
     "docs/serving.md",
+    "docs/operations.md",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -98,6 +99,63 @@ def test_serving_doc_covers_every_env_knob():
         STA_KERNEL_ENV_VAR,
     ):
         assert variable in serving, f"docs/serving.md does not document {variable}"
+
+
+def test_operations_doc_covers_every_resilience_knob():
+    """The operations page's knob table stays in sync with the code.
+
+    Each resilience variable must appear both in docs/operations.md (the
+    table that defines it) and in docs/serving.md (the pointer list that
+    keeps the main knob page exhaustive).
+    """
+    operations = (REPO_ROOT / "docs/operations.md").read_text()
+    serving = (REPO_ROOT / "docs/serving.md").read_text()
+    from repro.serve.resilience import (
+        BREAKER_RESET_ENV_VAR,
+        BREAKER_THRESHOLD_ENV_VAR,
+        DEADLINE_ENV_VAR,
+        QUEUE_MAX_ENV_VAR,
+        RETRY_AFTER_ENV_VAR,
+        WHATIF_CONCURRENCY_ENV_VAR,
+    )
+    from repro.serve.supervisor import (
+        BACKOFF_ENV_VAR,
+        BACKOFF_MAX_ENV_VAR,
+        HANG_TIMEOUT_ENV_VAR,
+        HEARTBEAT_ENV_VAR,
+        HEARTBEAT_TIMEOUT_ENV_VAR,
+        RETRIES_ENV_VAR,
+        RSS_LIMIT_ENV_VAR,
+        WORKERS_ENV_VAR,
+    )
+
+    for variable in (
+        QUEUE_MAX_ENV_VAR,
+        DEADLINE_ENV_VAR,
+        RETRY_AFTER_ENV_VAR,
+        WHATIF_CONCURRENCY_ENV_VAR,
+        BREAKER_THRESHOLD_ENV_VAR,
+        BREAKER_RESET_ENV_VAR,
+        WORKERS_ENV_VAR,
+        HEARTBEAT_ENV_VAR,
+        HEARTBEAT_TIMEOUT_ENV_VAR,
+        HANG_TIMEOUT_ENV_VAR,
+        RSS_LIMIT_ENV_VAR,
+        BACKOFF_ENV_VAR,
+        BACKOFF_MAX_ENV_VAR,
+        RETRIES_ENV_VAR,
+    ):
+        assert variable in operations, f"docs/operations.md does not document {variable}"
+        assert variable in serving, f"docs/serving.md does not mention {variable}"
+
+
+def test_operations_doc_covers_every_chaos_fault():
+    """Every chaos-campaign fault and its evidence counters stay documented."""
+    operations = (REPO_ROOT / "docs/operations.md").read_text()
+    from repro.serve.chaos import DEFAULT_FAULTS
+
+    for fault in DEFAULT_FAULTS:
+        assert fault in operations, f"docs/operations.md does not document fault {fault}"
 
 
 def test_api_doc_matches_cli_subcommands():

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -293,3 +294,143 @@ def test_service_report_can_merge_into_session_report(served_timer, tiny_records
         session.merge(service.runtime_report())
     assert "serve.predict_batch" in session.stages
     assert "serve.predict_p50" in session.stages
+
+
+# ---------------------------------------------------------------------------
+# Resilience: body bounds, load shedding, deadlines, close() races
+# ---------------------------------------------------------------------------
+
+
+def test_http_oversized_body_rejected_with_413(http_server):
+    from repro.serve.http import MAX_BODY_BYTES
+
+    request = urllib.request.Request(
+        _url(http_server, "/predict"),
+        data=b"x" * 16,  # tiny actual body; the declared length is the bound
+        headers={
+            "Content-Type": "application/json",
+            "Content-Length": str(MAX_BODY_BYTES + 1),
+        },
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request)
+    assert excinfo.value.code == 413
+    assert "error" in json.loads(excinfo.value.read())
+    # The server stays healthy after refusing the body.
+    assert _get(http_server, "/health")["status"] == "ok"
+
+
+def test_http_chunked_body_rejected(http_server):
+    import http.client
+
+    host, port = http_server.server_address
+    conn = http.client.HTTPConnection(host, port)
+    try:
+        conn.putrequest("POST", "/predict")
+        conn.putheader("Transfer-Encoding", "chunked")
+        conn.putheader("Content-Type", "application/json")
+        conn.endheaders()
+        conn.send(b"5\r\n{\"a\":\r\n0\r\n\r\n")
+        response = conn.getresponse()
+        assert response.status == 413
+    finally:
+        conn.close()
+
+
+def test_http_shed_request_gets_429_with_retry_after(served_timer, tiny_records):
+    service = TimingService(
+        served_timer,
+        ServeConfig(batch_window_s=0.0, queue_max=1, retry_after_s=2.5),
+    )
+    server = start_server(service, port=0)
+    for record in tiny_records:
+        server.register_record(record)
+    try:
+        # Occupy the single admission slot directly, then hit the server.
+        slot = service.admission.admit("predict")
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(server, "/predict", {"name": tiny_records[0].name})
+            assert excinfo.value.code == 429
+            assert excinfo.value.headers["Retry-After"] == "2.5"
+        finally:
+            slot.__exit__(None, None, None)
+        # Slot released: the same request is admitted and answered.
+        response = _post(server, "/predict", {"name": tiny_records[0].name})
+        assert response["design"] == tiny_records[0].name
+        assert service.report.counters["serve_shed"] == 1
+    finally:
+        server.shutdown()
+        service.close()
+
+
+def test_http_expired_deadline_gets_504(served_timer, tiny_records):
+    service = TimingService(
+        served_timer, ServeConfig(batch_window_s=0.05, deadline_s=1e-6)
+    )
+    server = start_server(service, port=0)
+    for record in tiny_records:
+        server.register_record(record)
+    try:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, "/predict", {"name": tiny_records[0].name})
+        assert excinfo.value.code == 504
+        assert service.report.counters.get("serve_deadline_timeouts", 0) >= 1
+    finally:
+        server.shutdown()
+        service.close()
+
+
+def test_close_drains_inflight_requests(served_timer, tiny_records):
+    """predicts racing close(): every caller gets a prediction or a clean
+    'closed' error — nobody hangs, nothing is silently dropped."""
+    for attempt in range(3):  # several interleavings of the race
+        service = TimingService(served_timer, ServeConfig(batch_window_s=0.01))
+        outcomes = []
+        barrier = threading.Barrier(5)
+
+        def run(index):
+            barrier.wait()
+            try:
+                outcomes.append(("ok", service.predict(tiny_records[index % 4])))
+            except RuntimeError as exc:
+                outcomes.append(("closed", exc))
+
+        def closer():
+            barrier.wait()
+            service.close(drain=True, timeout=30.0)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+        threads.append(threading.Thread(target=closer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not any(thread.is_alive() for thread in threads), "a caller hung"
+        assert len(outcomes) == 4
+        for kind, value in outcomes:
+            if kind == "ok":
+                assert value.design in {r.name for r in tiny_records}
+            else:
+                assert "closed" in str(value)
+        service.close()  # idempotent
+
+
+def test_close_without_drain_aborts_queued_requests(served_timer, tiny_records):
+    service = TimingService(served_timer, ServeConfig(batch_window_s=5.0))
+    errors = []
+
+    def run():
+        try:
+            service.predict(tiny_records[0])
+            errors.append(None)
+        except RuntimeError as exc:
+            errors.append(exc)
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    time.sleep(0.1)  # let the request enter the (long) batch window
+    service.close(drain=False, timeout=10.0)
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert len(errors) == 1  # answered either way; an abort error is legal
