@@ -1,0 +1,65 @@
+"""Lifecycle benchmark: retrain → eval gate wall time in the trend artifact.
+
+One eval-gated retrain cycle over benchmark-suite designs, instrumented so
+the CI benchmark-trend artifact (``BENCH_runtime.json``) tracks the cost of
+the online lifecycle per commit: ``lifecycle.ingest`` (dataset assembly,
+fuzz-seed elaboration), ``lifecycle.retrain`` (the candidate fit) and
+``lifecycle.eval`` (holdout scoring of candidate and promoted baseline).
+
+The cycle's verdicts are asserted, not just timed — a bootstrap promotion
+followed by a deliberately degraded candidate being rejected — so the trend
+numbers can never come from a silently broken gate.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import FAST_MODE, print_table
+from repro.lifecycle import RetrainConfig, run_retrain
+from repro.serve import ModelRegistry
+
+
+def test_lifecycle_retrain_cycle(runtime_report, tmp_path):
+    registry = ModelRegistry(tmp_path / "models")
+    designs = 4 if FAST_MODE else 8
+    estimators = 10 if FAST_MODE else 20
+
+    first = run_retrain(
+        RetrainConfig(
+            name="bench",
+            designs=designs,
+            holdout=2,
+            estimators=estimators,
+            fast=True,
+            report_out=str(tmp_path / "eval-bootstrap.json"),
+        ),
+        registry=registry,
+        report=runtime_report,
+    )
+    assert first["promoted"], first["reasons"]
+
+    degraded = run_retrain(
+        RetrainConfig(
+            name="bench",
+            designs=1,
+            holdout=2,
+            estimators=1,
+            fast=True,
+            report_out=str(tmp_path / "eval-degraded.json"),
+        ),
+        registry=registry,
+        report=runtime_report,
+    )
+    assert not degraded["promoted"], "the eval gate waved a degraded candidate through"
+    assert registry.resolve("bench@promoted") == first["candidate"]["bundle_id"]
+
+    rows = [
+        [
+            stage,
+            f"{runtime_report.stage_seconds(stage):.3f}s",
+            runtime_report.stage_calls.get(stage, 0),
+        ]
+        for stage in ("lifecycle.ingest", "lifecycle.retrain", "lifecycle.eval")
+    ]
+    print_table("Lifecycle retrain cycle", ["stage", "seconds", "calls"], rows)
+    for stage in ("lifecycle.ingest", "lifecycle.retrain", "lifecycle.eval"):
+        assert runtime_report.stage_seconds(stage) > 0.0

@@ -6,14 +6,21 @@ One entry point for the whole train-once/serve-many workflow::
     python -m repro predict --model mymodel design.v     # one-shot inference
     python -m repro whatif  --model mymodel design.v     # option projections
     python -m repro serve   --model mymodel --port 8421  # HTTP service
+    python -m repro retrain --fast --fuzz-seeds 1,2      # eval-gated canary
+    python -m repro promote --model mymodel              # show/set @promoted
+    python -m repro rollback --model mymodel             # undo a promotion
     python -m repro dataset --designs 21                 # benchmark suite stats
     python -m repro fuzz --seed 0 --iterations 25        # differential fuzzing
 
 ``train`` stores fitted models in the content-addressed registry
 (``REPRO_MODEL_DIR``, default ``<cache dir>/models``); ``predict``,
 ``whatif`` and ``serve`` load them back — bit-identical to the fitted
-original — so no command ever re-trains implicitly.  ``fuzz`` delegates to
-the pre-existing :mod:`repro.fuzz` runner unchanged.
+original — so no command ever re-trains implicitly.  ``retrain`` closes
+the online lifecycle loop: it registers a candidate and flips the
+``name@promoted`` deployment pointer only on a no-regression eval verdict
+(exit code 3 on rejection), writing a JSON eval report either way; a
+server started with ``--refresh-s`` follows promotions live.  ``fuzz``
+delegates to the pre-existing :mod:`repro.fuzz` runner unchanged.
 
 See ``docs/serving.md`` for the deployment knobs and ``docs/api.md`` for
 the underlying python API.
@@ -23,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -32,6 +40,10 @@ from repro.runtime import report as report_mod
 
 #: Default model name used by ``train`` / ``predict`` / ``serve``.
 DEFAULT_MODEL_NAME = "rtl-timer"
+
+#: Exit code of a ``retrain`` whose candidate failed the eval gate
+#: (distinct from argparse's 2 so CI lanes can assert the rejection path).
+EXIT_EVAL_REJECTED = 3
 
 
 # ---------------------------------------------------------------------------
@@ -46,25 +58,37 @@ def _registry(args):
 
 
 def _train_config(args):
-    """Translate CLI knobs into an :class:`RTLTimerConfig`."""
-    from repro.core import BitwiseConfig, OverallConfig, RTLTimerConfig, SignalwiseConfig
+    """Translate CLI knobs into an :class:`RTLTimerConfig`.
 
-    fast = args.fast
-    estimators = args.estimators or (20 if fast else 60)
-    return RTLTimerConfig(
-        bitwise=BitwiseConfig(
-            n_estimators=estimators,
-            max_depth=5 if fast else 6,
-            max_train_endpoints_per_design=80 if fast else 250,
-            seed=args.seed,
-        ),
-        signalwise=SignalwiseConfig(
-            n_estimators=estimators,
-            ranker_estimators=max(estimators // 2, 10) if fast else 80,
-            seed=args.seed,
-        ),
-        overall=OverallConfig(n_estimators=max(estimators // 2, 10), seed=args.seed),
-    )
+    Delegates to :func:`repro.lifecycle.retrain.training_config`, which
+    treats ``estimators`` with an explicit ``is None`` check — ``0`` is an
+    error (enforced by :func:`_positive_int` at parse time as well), never
+    a silent fall-through to the preset.
+    """
+    from repro.lifecycle.retrain import training_config
+
+    return training_config(estimators=args.estimators, fast=args.fast, seed=args.seed)
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (``--estimators 0`` is an error)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+def _seed_list(text: str) -> List[int]:
+    """argparse type: comma-separated fuzz seeds (``1,2,3``)."""
+    try:
+        return [int(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a comma-separated integer list"
+        ) from None
 
 
 def _load_source_record(args, source_path: str):
@@ -206,15 +230,105 @@ def cmd_serve(args) -> int:
         f"on http://{host}:{port} — endpoints: /predict /whatif /health /metrics",
         file=sys.stderr,
     )
+    watcher = None
+    refresh_s = args.refresh_s
+    if refresh_s is None:
+        from repro.serve.service import REFRESH_ENV_VAR
+
+        try:
+            refresh_s = float(os.environ.get(REFRESH_ENV_VAR) or 0.0)
+        except ValueError:
+            refresh_s = 0.0
+    if refresh_s > 0:
+        from repro.lifecycle.watch import PromotionWatcher
+
+        watcher = PromotionWatcher(
+            service, registry, args.model.partition("@")[0], interval_s=refresh_s
+        ).start()
+        print(f"following promotions of {args.model.partition('@')[0]!r} "
+              f"every {refresh_s:g}s", file=sys.stderr)
     try:
         while True:
             time.sleep(3600)
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
     finally:
+        if watcher is not None:
+            watcher.stop()
         server.shutdown()
         service.close()
         _maybe_write_report(service.runtime_report(), args.bench_out)
+    return 0
+
+
+def cmd_retrain(args) -> int:
+    from repro.lifecycle.retrain import RetrainConfig, run_retrain
+
+    report = report_mod.RuntimeReport(meta={"command": "retrain", "model": args.name})
+    config = RetrainConfig(
+        name=args.name,
+        designs=args.designs,
+        extra_designs=args.extra_designs,
+        fuzz_seeds=tuple(args.fuzz_seeds or ()),
+        fuzz_size_class=args.fuzz_size_class,
+        holdout=args.holdout,
+        estimators=args.estimators,
+        fast=args.fast,
+        seed=args.seed,
+        report_out=args.report_out,
+    )
+    result = run_retrain(config, registry=_registry(args), report=report)
+    _emit(
+        {
+            "name": result["name"],
+            "verdict": result["verdict"],
+            "promoted": result["promoted"],
+            "reasons": result["reasons"],
+            "candidate_bundle_id": result["candidate"]["bundle_id"],
+            "eval_digest": result["eval_report"]["digest"],
+            "report_path": result["report_path"],
+        },
+        args.out,
+    )
+    _maybe_write_report(report, args.bench_out)
+    return 0 if result["promoted"] else EXIT_EVAL_REJECTED
+
+
+def cmd_promote(args) -> int:
+    from repro.serve.registry import RegistryError
+
+    registry = _registry(args)
+    name = args.model.partition("@")[0]
+    try:
+        if args.ref is None:
+            _emit(
+                {
+                    "name": name,
+                    "promoted": registry.promoted(name),
+                    "history": registry.promotion_history(name),
+                },
+                args.out,
+            )
+        else:
+            entry = registry.promote(name, args.ref, source="manual")
+            _emit({"name": name, "promoted": entry}, args.out)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_rollback(args) -> int:
+    from repro.serve.registry import RegistryError
+
+    registry = _registry(args)
+    name = args.model.partition("@")[0]
+    try:
+        entry = registry.rollback(name)
+    except RegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    _emit({"name": name, "promoted": entry}, args.out)
     return 0
 
 
@@ -273,7 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--designs", type=int, default=8, help="training designs from the benchmark suite (default 8)")
     train.add_argument("--name", default=DEFAULT_MODEL_NAME, help=f"registry name (default {DEFAULT_MODEL_NAME!r})")
     train.add_argument("--registry", default=None, help="registry dir (default $REPRO_MODEL_DIR)")
-    train.add_argument("--estimators", type=int, default=None, help="boosting rounds per stage")
+    train.add_argument("--estimators", type=_positive_int, default=None, help="boosting rounds per stage (positive)")
     train.add_argument("--fast", action="store_true", help="small fast-training preset")
     train.add_argument("--seed", type=int, default=0, help="model seed (default 0)")
     train.add_argument("--out", default=None, help="also write a single-file bundle here")
@@ -300,7 +414,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="supervised worker processes (0 = in-process serving; default 0)",
     )
     serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    serve.add_argument(
+        "--refresh-s", type=float, default=None,
+        help="poll the promoted alias every N seconds and hot-swap the bundle "
+             "(default $REPRO_SERVE_REFRESH_S; 0 disables)",
+    )
     serve.set_defaults(handler=cmd_serve)
+
+    retrain = subparsers.add_parser(
+        "retrain",
+        help="ingest new designs, fit a candidate, promote only on a no-regression eval",
+    )
+    retrain.add_argument("--name", default=DEFAULT_MODEL_NAME, help=f"registry name (default {DEFAULT_MODEL_NAME!r})")
+    retrain.add_argument("--registry", default=None, help="registry dir (default $REPRO_MODEL_DIR)")
+    retrain.add_argument("--designs", type=int, default=8, help="base training designs (default 8)")
+    retrain.add_argument("--extra-designs", type=int, default=0, help="newly ingested benchmark designs beyond the base slice")
+    retrain.add_argument("--fuzz-seeds", type=_seed_list, default=None, help="comma-separated fuzz corpus seeds to ingest (e.g. 1,2,3)")
+    retrain.add_argument("--fuzz-size-class", default="small", help="size class of ingested fuzz designs (default 'small')")
+    retrain.add_argument("--holdout", type=int, default=3, help="held-out designs for the eval gate (default 3)")
+    retrain.add_argument("--estimators", type=_positive_int, default=None, help="boosting rounds per stage (positive)")
+    retrain.add_argument("--fast", action="store_true", help="small fast-training preset")
+    retrain.add_argument("--seed", type=int, default=0, help="model seed (default 0)")
+    retrain.add_argument("--report-out", default=None, help="eval report path (default <registry>/eval-reports/)")
+    retrain.add_argument("--out", default=None, help="write the JSON result here (default stdout)")
+    retrain.add_argument("--bench-out", default=None, help="write a BENCH_runtime.json report here")
+    retrain.set_defaults(handler=cmd_retrain)
+
+    promote = subparsers.add_parser(
+        "promote", help="show or set the name@promoted deployment pointer"
+    )
+    promote.add_argument("ref", nargs="?", default=None, help="version/bundle to promote (omit to show the current promotion)")
+    promote.add_argument("--model", default=DEFAULT_MODEL_NAME, help=f"model name (default {DEFAULT_MODEL_NAME!r})")
+    promote.add_argument("--registry", default=None, help="registry dir (default $REPRO_MODEL_DIR)")
+    promote.add_argument("--out", default=None, help="write the JSON result here (default stdout)")
+    promote.set_defaults(handler=cmd_promote)
+
+    rollback = subparsers.add_parser(
+        "rollback", help="move name@promoted back to the previously promoted bundle"
+    )
+    rollback.add_argument("--model", default=DEFAULT_MODEL_NAME, help=f"model name (default {DEFAULT_MODEL_NAME!r})")
+    rollback.add_argument("--registry", default=None, help="registry dir (default $REPRO_MODEL_DIR)")
+    rollback.add_argument("--out", default=None, help="write the JSON result here (default stdout)")
+    rollback.set_defaults(handler=cmd_rollback)
 
     dataset = subparsers.add_parser("dataset", help="build the benchmark dataset and print its summary")
     dataset.add_argument("--designs", type=int, default=None, help="number of designs (default: all 21)")

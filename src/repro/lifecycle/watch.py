@@ -1,0 +1,108 @@
+"""Promotion watcher: a serving process follows ``name@promoted`` live.
+
+``python -m repro serve --model name@promoted --refresh-s N`` attaches a
+:class:`PromotionWatcher` to the running service.  Every ``N`` seconds the
+watcher reads the registry's promotion pointer; when it moves to a bundle
+the service is not already running, the watcher loads the verified payload
+and hot-swaps it in:
+
+* single-process :class:`~repro.serve.service.TimingService` — one atomic
+  attribute rebind; queued requests resolve against exactly one bundle;
+* :class:`~repro.serve.service.PooledTimingService` — the parent rebinds
+  and the worker pool rolls one worker at a time onto the new payload,
+  in-flight requests retried on siblings (zero drops by construction).
+
+The swap is crash-safe: a promotion pointing at a bundle that fails
+verification leaves the service on its current bundle (and counts a
+``serve_promotion_swap_failures``) instead of taking it down.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Any, Optional
+
+from repro.runtime.cache import gc_paused
+from repro.serve.registry import ModelRegistry, RegistryError
+from repro.serve.service import PooledTimingService, TimingService
+
+
+class PromotionWatcher:
+    """Polls a registry's promoted alias and hot-swaps the service to match."""
+
+    def __init__(
+        self,
+        service: TimingService,
+        registry: ModelRegistry,
+        name: str,
+        interval_s: float = 5.0,
+    ):
+        self.service = service
+        self.registry = registry
+        self.name = name
+        self.interval_s = max(float(interval_s), 0.1)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- one poll (exposed for deterministic tests) --------------------------------
+
+    def poll_once(self) -> bool:
+        """Check the promoted alias; swap if it moved.  Returns True on swap."""
+        from repro.core.pipeline import RTLTimer
+
+        try:
+            entry = self.registry.promoted(self.name)
+        except RegistryError:
+            return False  # index mid-write or unreadable: try again next tick
+        if entry is None or entry["bundle_id"] == self.service.active_bundle_id:
+            return False
+        try:
+            payload, manifest = self.registry.payload(entry["bundle_id"])
+            with gc_paused():
+                state = pickle.loads(payload)
+            timer = RTLTimer.from_state(state)
+        except Exception:  # RegistryError, unpickle trouble, bad state layout
+            # Keep serving the current bundle; a bad promotion must not take
+            # the service down. rollback/re-promote fixes the pointer.
+            self.service.report.incr("serve_promotion_swap_failures")
+            return False
+        manifest = dict(manifest)
+        manifest["eval_digest"] = entry.get("eval_digest")
+        manifest["promoted_at"] = entry.get("promoted_at")
+        if isinstance(self.service, PooledTimingService):
+            self.service.reload(timer, manifest=manifest, payload=payload)
+        else:
+            self.service.reload(timer, manifest=manifest)
+        self.service.report.incr("serve_promotion_swaps")
+        return True
+
+    # -- background thread ---------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.poll_once()
+            except Exception:
+                # The watcher must outlive transient registry trouble.
+                self.service.report.incr("serve_promotion_swap_failures")
+
+    def start(self) -> "PromotionWatcher":
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="promotion-watcher", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "PromotionWatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

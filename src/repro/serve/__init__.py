@@ -21,11 +21,13 @@ This package is the repo's train-once/serve-many boundary:
 
 The ``python -m repro`` CLI (:mod:`repro.cli`) wires these together:
 ``train`` saves into the registry, ``serve`` loads from it and binds the
-HTTP server.
+HTTP server, and ``retrain`` (:mod:`repro.lifecycle`) moves the
+``name@promoted`` deployment pointer that a refreshing server follows.
 """
 
 from repro.serve.registry import (
     MODEL_BUNDLE_SCHEMA,
+    PROMOTED_ALIAS,
     ModelRegistry,
     RegistryError,
     default_model_dir,
@@ -46,6 +48,7 @@ from repro.serve.http import TimingHTTPServer, prediction_to_json, start_server
 
 __all__ = [
     "MODEL_BUNDLE_SCHEMA",
+    "PROMOTED_ALIAS",
     "ModelRegistry",
     "RegistryError",
     "default_model_dir",

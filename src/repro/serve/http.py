@@ -15,7 +15,9 @@ which is exactly what feeds the service's micro-batching queue.  Endpoints:
     candidate synthesis option sets (no re-synthesis).
 
 ``GET /health``
-    Liveness + the manifest of the served model bundle.
+    Liveness + the manifest of the served model bundle, with the active
+    bundle id and promotion eval digest surfaced at the top level (so a
+    canary promotion is observable with one probe).
 
 ``GET /metrics``
     The service's :class:`~repro.runtime.report.RuntimeReport` snapshot with
@@ -151,6 +153,8 @@ class TimingRequestHandler(BaseHTTPRequestHandler):
                     {
                         "status": "ok",
                         "model": service.manifest or {},
+                        "active_bundle_id": service.active_bundle_id,
+                        "eval_digest": service.eval_digest,
                         "uptime_seconds": round(
                             service.metrics()["serving"]["uptime_seconds"], 3
                         ),

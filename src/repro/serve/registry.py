@@ -21,7 +21,14 @@ the train-once/serve-many boundary:
 * storage is an :class:`~repro.runtime.cache.ArtifactCache` under
   ``<cache dir>/models`` (``REPRO_MODEL_DIR`` overrides) plus an atomic
   ``registry.json`` index mapping model *names* to their version history,
-  newest last.
+  newest last;
+* each name additionally carries a **promotion history**: the deployment
+  pointer behind the ``name@promoted`` alias.  Promotions are appended by
+  the eval-gated ``python -m repro retrain`` flow (or a manual
+  ``repro promote``) together with the eval-report digest that justified
+  them, and :meth:`ModelRegistry.rollback` pops back to the previous
+  promoted bundle.  Serving a model as ``name@promoted`` therefore follows
+  deployments, not registrations.
 
 ``RTLTimer.save(path)`` / ``RTLTimer.load(path)`` use the same bundle
 format as a single self-contained file for ad-hoc hand-offs.
@@ -30,6 +37,7 @@ format as a single self-contained file for ad-hoc hand-offs.
 from __future__ import annotations
 
 import contextlib
+import copy
 import hashlib
 import json
 import os
@@ -55,6 +63,9 @@ REGISTRY_INDEX_SCHEMA = "repro-model-registry/1"
 
 #: Environment variable overriding the registry directory.
 MODEL_DIR_ENV_VAR = "REPRO_MODEL_DIR"
+
+#: Reserved version text selecting the promoted bundle: ``name@promoted``.
+PROMOTED_ALIAS = "promoted"
 
 #: Manifest fields that must be present (and hash-consistent) at load time.
 _REQUIRED_MANIFEST_FIELDS = ("schema", "bundle_id", "model", "created_at")
@@ -236,11 +247,13 @@ class ModelRegistry:
         try:
             index = json.loads(self.index_path.read_text())
         except FileNotFoundError:
-            return {"schema": REGISTRY_INDEX_SCHEMA, "models": {}}
+            return {"schema": REGISTRY_INDEX_SCHEMA, "models": {}, "promotions": {}}
         except (OSError, json.JSONDecodeError) as exc:
             raise RegistryError(f"registry index {self.index_path} is unreadable: {exc}") from exc
         if index.get("schema") != REGISTRY_INDEX_SCHEMA:
             raise RegistryError(f"unsupported registry index schema {index.get('schema')!r}")
+        # Indexes written before the lifecycle existed have no promotions map.
+        index.setdefault("promotions", {})
         return index
 
     def _write_index(self, index: Dict[str, Any]) -> None:
@@ -269,8 +282,9 @@ class ModelRegistry:
         """Register one fitted timer under ``name``; returns its manifest.
 
         A model whose payload bytes are already registered under this name
-        is not duplicated — its existing manifest is returned (and its
-        bundle blob re-stored if it went missing or corrupt on disk).
+        is not duplicated — its existing manifest is returned with any new
+        ``metadata`` keys merged in and persisted (the bundle blob is
+        re-stored if it went missing or corrupt on disk).
         """
         if not name or "/" in name or "@" in name or name.startswith("."):
             # '@' is the version separator of resolve(), so a name carrying
@@ -287,12 +301,27 @@ class ModelRegistry:
             if known:
                 report_mod.incr("model_dedup_saves")
                 try:
-                    return self.manifest(bundle_id)
+                    stored = self.manifest(bundle_id)
                 except RegistryError:
                     # The index knows this content but the blob is gone or
                     # corrupt: repair the store with the payload in hand
                     # instead of failing the save forever.
-                    pass
+                    stored = None
+                if stored is not None:
+                    if metadata:
+                        # The payload dedups but this save still carries new
+                        # metadata; merge it into the stored manifest (the
+                        # bundle id hashes the payload only, so the blob can
+                        # be rewritten in place without changing identity).
+                        stored.setdefault("metadata", {}).update(metadata)
+                        if not self.cache.put(
+                            bundle_id, {"manifest": stored, "payload": payload}
+                        ):
+                            raise RegistryError(
+                                f"could not update metadata of bundle {bundle_id} "
+                                f"in {self.directory}"
+                            )
+                    return stored
             if not self.cache.put(bundle_id, {"manifest": manifest, "payload": payload}):
                 raise RegistryError(f"could not store bundle {bundle_id} in {self.directory}")
             if not known:
@@ -310,14 +339,28 @@ class ModelRegistry:
         """Resolve a model reference to a bundle id.
 
         ``ref`` is a model name (latest version), ``name@<version>``
-        (e.g. ``mymodel@1``), or a full bundle id.
+        (e.g. ``mymodel@1``), ``name@promoted`` (the deployment pointer
+        maintained by :meth:`promote` / :meth:`rollback`), or a full
+        bundle id (which must actually exist in the store).
         """
         index = self._read_index()
+        return self._resolve_in(index, ref)
+
+    def _resolve_in(self, index: Dict[str, Any], ref: str) -> str:
+        """:meth:`resolve` against an already-read index snapshot."""
         name, _, version_text = ref.partition("@")
         versions = index["models"].get(name)
         if versions:
             if not version_text:
                 return versions[-1]["bundle_id"]
+            if version_text == PROMOTED_ALIAS:
+                history = index["promotions"].get(name)
+                if not history:
+                    raise RegistryError(
+                        f"model {name!r} has no promoted version; "
+                        f"run `repro retrain` or `repro promote` first"
+                    )
+                return history[-1]["bundle_id"]
             try:
                 number = int(version_text)
             except ValueError:
@@ -327,6 +370,13 @@ class ModelRegistry:
                     return version["bundle_id"]
             raise RegistryError(f"model {name!r} has no version {number}")
         if len(ref) == 64 and all(c in "0123456789abcdef" for c in ref):
+            # Verify the bundle actually exists so the error names the
+            # missing id here rather than surfacing later as a generic
+            # "missing or unreadable" on an id the caller may have mistyped.
+            if not self.cache.path_for(ref).exists():
+                raise RegistryError(
+                    f"bundle {ref} is not present in the registry store {self.directory}"
+                )
             return ref
         raise RegistryError(f"unknown model {ref!r}; registered: {sorted(index['models'])}")
 
@@ -389,8 +439,100 @@ class ModelRegistry:
         return _validate_manifest(bundle["manifest"], expected_id=bundle_id)
 
     def list_models(self) -> Dict[str, List[Dict[str, Any]]]:
-        """Name -> version history (oldest first) of every registered model."""
-        return dict(self._read_index()["models"])
+        """Name -> version history (oldest first) of every registered model.
+
+        The result is a deep copy: mutating it cannot corrupt what a later
+        :meth:`resolve` in the same process reads (the index itself is only
+        ever rewritten atomically under the registry lock).
+        """
+        return copy.deepcopy(self._read_index()["models"])
+
+    # -- promotion (the name@promoted deployment pointer) -------------------------
+
+    def promote(
+        self,
+        name: str,
+        ref: str,
+        eval_digest: Optional[str] = None,
+        source: str = "manual",
+    ) -> Dict[str, Any]:
+        """Point ``name@promoted`` at ``ref``; returns the promotion entry.
+
+        ``ref`` must resolve to a registered version of ``name`` whose blob
+        is present in the store — the promoted alias may never point at a
+        bundle that cannot be served.  ``eval_digest`` records the digest of
+        the eval report that justified the promotion (``repro retrain``
+        passes it; manual promotions default to ``None``).  Re-promoting
+        the already-promoted bundle is idempotent and does not grow the
+        history.
+        """
+        with self._index_lock():
+            index = self._read_index()
+            bundle_id = self._resolve_in(index, ref)
+            versions = index["models"].get(name) or []
+            version = next(
+                (v["version"] for v in versions if v["bundle_id"] == bundle_id), None
+            )
+            if version is None:
+                raise RegistryError(
+                    f"bundle {bundle_id} is not a registered version of model {name!r}"
+                )
+            if not self.cache.path_for(bundle_id).exists():
+                raise RegistryError(
+                    f"cannot promote {name!r}: bundle {bundle_id} is missing from the store"
+                )
+            history: List[Dict[str, Any]] = index["promotions"].setdefault(name, [])
+            if history and history[-1]["bundle_id"] == bundle_id:
+                return copy.deepcopy(history[-1])
+            entry = {
+                "bundle_id": bundle_id,
+                "version": version,
+                "eval_digest": eval_digest,
+                "promoted_at": time.time(),
+                "source": source,
+            }
+            history.append(entry)
+            self._write_index(index)
+            report_mod.incr("model_promotions")
+        return copy.deepcopy(entry)
+
+    def promoted(self, name: str) -> Optional[Dict[str, Any]]:
+        """The active promotion entry of ``name`` (deep copy), or ``None``."""
+        history = self._read_index()["promotions"].get(name)
+        return copy.deepcopy(history[-1]) if history else None
+
+    def promotion_history(self, name: str) -> List[Dict[str, Any]]:
+        """Every promotion of ``name``, oldest first (deep copy)."""
+        return copy.deepcopy(self._read_index()["promotions"].get(name, []))
+
+    def rollback(self, name: str) -> Dict[str, Any]:
+        """Drop the newest promotion of ``name``; returns the restored entry.
+
+        Recovery path for a bad promotion: the alias moves back to the
+        previously promoted bundle.  Raises :class:`RegistryError` when the
+        name has no promotion or nothing older to fall back to, or when the
+        restored bundle's blob has gone missing (rolling back onto an
+        unservable bundle would just move the outage).
+        """
+        with self._index_lock():
+            index = self._read_index()
+            history = index["promotions"].get(name)
+            if not history:
+                raise RegistryError(f"model {name!r} has no promotion to roll back")
+            if len(history) < 2:
+                raise RegistryError(
+                    f"model {name!r} has no previous promotion to roll back to"
+                )
+            restored = history[-2]
+            if not self.cache.path_for(restored["bundle_id"]).exists():
+                raise RegistryError(
+                    f"cannot roll back {name!r}: previous bundle "
+                    f"{restored['bundle_id']} is missing from the store"
+                )
+            history.pop()
+            self._write_index(index)
+            report_mod.incr("model_rollbacks")
+        return copy.deepcopy(restored)
 
 
 # -- module-level convenience ---------------------------------------------------

@@ -53,6 +53,10 @@ PREDICT_BATCH_STAGE = "serve.predict_batch"
 PREDICT_P50_STAGE = "serve.predict_p50"
 WHATIF_STAGE = "serve.whatif"
 
+#: Seconds between promotion polls of a serving process following a
+#: ``name@promoted`` model reference (0 disables following).
+REFRESH_ENV_VAR = "REPRO_SERVE_REFRESH_S"
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -187,6 +191,33 @@ class TimingService:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- hot swap ----------------------------------------------------------------
+
+    @property
+    def active_bundle_id(self) -> Optional[str]:
+        """Bundle id currently serving predictions (None for in-process fits)."""
+        manifest = self.manifest
+        return manifest.get("bundle_id") if manifest else None
+
+    @property
+    def eval_digest(self) -> Optional[str]:
+        """Digest of the eval report that promoted the active bundle, if any."""
+        manifest = self.manifest
+        return manifest.get("eval_digest") if manifest else None
+
+    def reload(self, timer: RTLTimer, manifest: Optional[Dict[str, Any]] = None) -> None:
+        """Swap the served model in place without dropping queued requests.
+
+        The batching worker reads ``self.timer`` once per batch, so a plain
+        attribute rebind is atomic under the GIL: every request resolves
+        against exactly one bundle — the old one or the new one, never a
+        mixture.  Requests already queued keep their answers; nothing is
+        rejected or restarted.
+        """
+        self.timer = timer
+        self.manifest = manifest
+        self.report.incr("serve_model_reloads")
 
     # -- inference ---------------------------------------------------------------
 
@@ -337,6 +368,8 @@ class TimingService:
             "batches": batches,
             "batch_size": round(requests / batches, 3) if batches else 0.0,
             "uptime_seconds": round(time.time() - self.started_at, 3),
+            "active_bundle_id": self.active_bundle_id,
+            "eval_digest": self.eval_digest,
             "admission_depth": self.admission.depth(),
             "breakers": {
                 "kernel": self.kernel_breaker.state,
@@ -538,3 +571,24 @@ class PooledTimingService(TimingService):
         snapshot = super().metrics()
         snapshot["serving"]["workers"] = self.pool.status()
         return snapshot
+
+    def reload(
+        self,
+        timer: RTLTimer,
+        manifest: Optional[Dict[str, Any]] = None,
+        payload: Optional[bytes] = None,
+    ) -> None:
+        """Hot-swap the bundle on the parent *and* roll it across the pool.
+
+        The parent swap is the atomic rebind of :meth:`TimingService.reload`;
+        the pool swap is a rolling generation bump — the supervisor restarts
+        one stale worker at a time on the new payload while siblings keep
+        serving, and any request in flight on a restarting worker is retried
+        on a sibling by the pool's existing failover path.  No request is
+        dropped at any point of the roll.
+        """
+        super().reload(timer, manifest=manifest)
+        provider: Optional[Callable[[], bytes]] = None
+        if payload is not None:
+            provider = lambda: payload  # noqa: E731 - closure over bytes
+        self.pool.request_refresh(provider)

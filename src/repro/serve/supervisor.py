@@ -268,6 +268,9 @@ class _Worker:
         self.rss_mb = 0.0
         self.restarts = 0
         self.started_at = 0.0
+        #: Payload generation this incarnation was spawned with; a worker
+        #: whose generation trails the pool's is rolled onto the new bundle.
+        self.generation = 0
         self.pending: Dict[int, PoolRequestHandle] = {}
 
 
@@ -294,6 +297,9 @@ class WorkerPool:
         self._request_ids = itertools.count(1)
         self._route_counter = itertools.count()
         self._parked: List[PoolRequestHandle] = []
+        #: Bumped by :meth:`request_refresh`; workers on an older generation
+        #: are rolled (one at a time) onto the current payload.
+        self._generation = 0
         self._workers = [_Worker(slot) for slot in range(max(self.config.workers, 1))]
         for worker in self._workers:
             self._spawn(worker)
@@ -423,6 +429,7 @@ class WorkerPool:
             worker.busy_since = 0.0
             worker.rss_mb = 0.0
             worker.started_at = now
+            worker.generation = self._generation
         threading.Thread(
             target=self._receive_loop,
             args=(worker, parent_conn, process),
@@ -503,6 +510,37 @@ class WorkerPool:
                 self._parked.append(handle)
                 self.report.incr("serve_pool_parked")
 
+    # -- bundle refresh (promotion hot swap) --------------------------------------
+
+    def request_refresh(self, payload_provider: Optional[Callable[[], bytes]] = None) -> int:
+        """Roll every worker onto a freshly provided payload; returns the generation.
+
+        The supervisor restarts stale-generation workers **one slot at a
+        time** (each respawn completes before the next slot is touched), so
+        siblings keep serving throughout and any request in flight on a
+        rolling slot is retried on a sibling by the normal death machinery —
+        a promotion swaps bundles with zero dropped in-flight requests.
+        ``payload_provider`` replaces the pool's provider (e.g. after a
+        promotion changed what ``name@promoted`` resolves to); omitting it
+        re-reads the existing provider, which is the right thing when the
+        provider itself re-resolves a registry reference.
+        """
+        with self._lock:
+            if payload_provider is not None:
+                self._payload_provider = payload_provider
+            self._generation += 1
+            generation = self._generation
+        self.report.incr("serve_pool_refreshes")
+        return generation
+
+    def refresh_complete(self) -> bool:
+        """Whether every worker is alive on the current payload generation."""
+        with self._lock:
+            return all(
+                worker.alive and worker.generation == self._generation
+                for worker in self._workers
+            )
+
     def _flush_parked(self) -> None:
         with self._lock:
             parked, self._parked = self._parked, []
@@ -578,6 +616,12 @@ class WorkerPool:
                     and worker.rss_mb > self.config.rss_limit_mb
                 ):
                     self._restart(worker, reason=f"rss {worker.rss_mb:.0f}MiB over limit")
+                elif worker.generation != self._generation:
+                    # Promotion hot swap: roll this slot onto the current
+                    # payload.  _restart respawns synchronously, so only one
+                    # slot is ever down for a refresh at a time.
+                    self.report.incr("serve_worker_refreshes")
+                    self._restart(worker, reason="bundle refresh")
 
     # -- introspection -----------------------------------------------------------
 
@@ -595,6 +639,7 @@ class WorkerPool:
                     "restarts": worker.restarts,
                     "rss_mb": round(worker.rss_mb, 1),
                     "pending": len(worker.pending),
+                    "generation": worker.generation,
                 }
                 for worker in self._workers
             ]

@@ -18,7 +18,17 @@ from repro.cli import build_parser, main
 
 REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
 
-SUBCOMMANDS = ("train", "predict", "whatif", "serve", "dataset", "fuzz")
+SUBCOMMANDS = (
+    "train",
+    "predict",
+    "whatif",
+    "serve",
+    "retrain",
+    "promote",
+    "rollback",
+    "dataset",
+    "fuzz",
+)
 
 
 def _cli_env(tmp_path) -> dict:
@@ -66,6 +76,73 @@ def test_fuzz_passthrough_validates_arguments(capsys):
     # The fuzz runner owns its CLI; an unknown oracle errors without running.
     assert main(["fuzz", "--checks", "not-an-oracle"]) == 2
     assert "unknown checks" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("subcommand", ["train", "retrain"])
+@pytest.mark.parametrize("value", ["0", "-5", "x"])
+def test_nonpositive_estimators_rejected_at_parse_time(subcommand, value, capsys):
+    """``--estimators 0`` must be an argparse error, never a silent default."""
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args([subcommand, "--estimators", value])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "positive integer" in err or "not an integer" in err
+
+
+def test_estimators_boundary_accepted():
+    args = build_parser().parse_args(["train", "--estimators", "1"])
+    assert args.estimators == 1
+    args = build_parser().parse_args(["train"])
+    assert args.estimators is None  # preset, resolved by `is None` not truthiness
+
+
+def test_retrain_parser_knobs():
+    args = build_parser().parse_args(
+        ["retrain", "--fast", "--fuzz-seeds", "3,5,8", "--extra-designs", "2", "--holdout", "2"]
+    )
+    assert args.fuzz_seeds == [3, 5, 8]
+    assert args.extra_designs == 2 and args.holdout == 2
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["retrain", "--fuzz-seeds", "3,oops"])
+
+
+def test_promote_and_rollback_error_cleanly(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_MODEL_DIR", str(tmp_path / "models"))
+    assert main(["promote", "--model", "ghost", "deadbeef"]) == 1
+    assert "error:" in capsys.readouterr().err
+    assert main(["rollback", "--model", "ghost"]) == 1
+    assert "no promotion" in capsys.readouterr().err
+
+
+def test_retrain_exit_code_reflects_verdict(tmp_path, capsys, monkeypatch):
+    """Promotion exits 0; an eval-gate rejection exits 3 (not argparse's 2)."""
+    import repro.lifecycle.retrain as retrain_mod
+    from repro.cli import EXIT_EVAL_REJECTED
+
+    monkeypatch.setenv("REPRO_MODEL_DIR", str(tmp_path / "models"))
+
+    def fake_run(verdict):
+        def run(config, registry=None, report=None):
+            return {
+                "name": config.name,
+                "promoted": verdict == "promote",
+                "verdict": verdict,
+                "reasons": ["stubbed"],
+                "candidate": {"bundle_id": "c" * 64},
+                "promotion": None,
+                "eval_report": {"digest": "d" * 64},
+                "report_path": str(tmp_path / "report.json"),
+            }
+
+        return run
+
+    monkeypatch.setattr(retrain_mod, "run_retrain", fake_run("promote"))
+    assert main(["retrain", "--fast"]) == 0
+    assert json.loads(capsys.readouterr().out)["verdict"] == "promote"
+
+    monkeypatch.setattr(retrain_mod, "run_retrain", fake_run("reject"))
+    assert main(["retrain", "--fast"]) == EXIT_EVAL_REJECTED
+    assert json.loads(capsys.readouterr().out)["promoted"] is False
 
 
 # ---------------------------------------------------------------------------

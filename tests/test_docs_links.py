@@ -149,6 +149,22 @@ def test_operations_doc_covers_every_resilience_knob():
         assert variable in serving, f"docs/serving.md does not mention {variable}"
 
 
+def test_docs_cover_every_lifecycle_knob():
+    """Every lifecycle env knob is documented on both ops-facing pages."""
+    operations = (REPO_ROOT / "docs/operations.md").read_text()
+    serving = (REPO_ROOT / "docs/serving.md").read_text()
+    from repro.lifecycle.evaluate import LATENCY_RATIO_ENV_VAR, MIN_R_DELTA_ENV_VAR
+    from repro.serve.service import REFRESH_ENV_VAR
+
+    for variable in (MIN_R_DELTA_ENV_VAR, LATENCY_RATIO_ENV_VAR, REFRESH_ENV_VAR):
+        assert variable in operations, f"docs/operations.md does not document {variable}"
+        assert variable in serving, f"docs/serving.md does not mention {variable}"
+    # The eval-report schema tag is part of the operational contract too.
+    from repro.lifecycle.evaluate import EVAL_REPORT_SCHEMA
+
+    assert EVAL_REPORT_SCHEMA in operations
+
+
 def test_operations_doc_covers_every_chaos_fault():
     """Every chaos-campaign fault and its evidence counters stay documented."""
     operations = (REPO_ROOT / "docs/operations.md").read_text()

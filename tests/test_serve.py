@@ -214,10 +214,15 @@ def test_http_whatif(http_server, served_timer, tiny_records):
 def test_http_health_and_metrics(http_server):
     health = _get(http_server, "/health")
     assert health["status"] == "ok"
+    # Bundle identity is always surfaced (None for an in-process fit with no
+    # manifest); a registry-served promotion fills both fields in.
+    assert "active_bundle_id" in health and health["active_bundle_id"] is None
+    assert "eval_digest" in health and health["eval_digest"] is None
     _post(http_server, "/predict", {"name": http_server.service.timer.training_designs_[0]})
     metrics = _get(http_server, "/metrics")
     assert metrics["serving"]["requests"] >= 1
     assert "predict_p50" in metrics["serving"]
+    assert "active_bundle_id" in metrics["serving"]
 
 
 def test_http_error_paths(http_server):
