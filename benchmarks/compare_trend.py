@@ -4,14 +4,17 @@ Used by the CI perf-smoke job::
 
     python benchmarks/compare_trend.py previous/BENCH_runtime.json BENCH_runtime.json \
         --stage benchmarks.cross_validation --stage sta.analyze_array \
-        --max-regression 0.20
+        --max-regression 0.20 \
+        --derived optimize_evals_per_second --max-drop 0.5
 
-``--stage`` is repeatable; each named stage is guarded independently.  Exit
-status is non-zero only when a guarded stage exists in *both* reports and
-its wall time regressed by more than ``--max-regression``.  A missing
-previous report (first run on a branch, expired artifact) or a stage absent
-from either side is reported and tolerated, so the guard cannot brick CI on
-cold starts.
+``--stage`` is repeatable; each named stage is guarded independently.
+``--derived`` guards a higher-is-better metric from the report's ``derived``
+section (throughputs, speedups): it fails when the metric *drops* by more
+than ``--max-drop``.  Exit status is non-zero only when a guarded stage or
+metric exists in *both* reports and regressed beyond its tolerance.  A
+missing previous report (first run on a branch, expired artifact) or an
+entry absent from either side is reported and tolerated, so the guard
+cannot brick CI on cold starts.
 """
 
 from __future__ import annotations
@@ -22,13 +25,16 @@ import sys
 from pathlib import Path
 
 
-def load_stages(path: Path) -> dict:
+def load_report(path: Path) -> dict:
     with path.open() as handle:
         report = json.load(handle)
-    stages = report.get("stages", {})
-    if not isinstance(stages, dict):
+    if not isinstance(report.get("stages", {}), dict):
         raise SystemExit(f"{path}: malformed report (no stages mapping)")
-    return stages
+    return report
+
+
+def load_stages(path: Path) -> dict:
+    return load_report(path).get("stages", {})
 
 
 def main(argv=None) -> int:
@@ -51,17 +57,35 @@ def main(argv=None) -> int:
         default=0.20,
         help="tolerated fractional slowdown before failing (default: 0.20)",
     )
+    parser.add_argument(
+        "--derived",
+        action="append",
+        dest="derived",
+        default=None,
+        help=(
+            "higher-is-better derived metric (throughput/speedup) guarded "
+            "against drops; repeatable"
+        ),
+    )
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.5,
+        help="tolerated fractional drop of a --derived metric (default: 0.5)",
+    )
     args = parser.parse_args(argv)
 
     if not args.current.exists():
         print(f"current report {args.current} does not exist", file=sys.stderr)
         return 2
-    current = load_stages(args.current)
+    current_report = load_report(args.current)
+    current = current_report.get("stages", {})
 
     if not args.previous.exists():
         print(f"no previous report at {args.previous}; nothing to compare (ok)")
         return 0
-    previous = load_stages(args.previous)
+    previous_report = load_report(args.previous)
+    previous = previous_report.get("stages", {})
 
     shared = sorted(set(previous) & set(current))
     if shared:
@@ -95,6 +119,30 @@ def main(argv=None) -> int:
             print(
                 f"OK: {stage} {before:.2f}s -> {after:.2f}s "
                 f"({regression * 100.0:+.1f}%, tolerance {args.max_regression * 100.0:.0f}%)"
+            )
+
+    previous_derived = previous_report.get("derived", {})
+    current_derived = current_report.get("derived", {})
+    for metric in args.derived or []:
+        if metric not in previous_derived or metric not in current_derived:
+            print(f"derived {metric!r} missing from one report; skipping the guard (ok)")
+            continue
+        before, after = float(previous_derived[metric]), float(current_derived[metric])
+        if before <= 0:
+            print(f"previous {metric} is {before}; skipping the guard (ok)")
+            continue
+        drop = 1.0 - after / before
+        if drop > args.max_drop:
+            print(
+                f"FAIL: {metric} dropped {drop * 100.0:.1f}% "
+                f"({before:.2f} -> {after:.2f}, tolerance {args.max_drop * 100.0:.0f}%)",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(
+                f"OK: {metric} {before:.2f} -> {after:.2f} "
+                f"(drop {drop * 100.0:+.1f}%, tolerance {args.max_drop * 100.0:.0f}%)"
             )
     return status
 

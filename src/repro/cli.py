@@ -332,6 +332,88 @@ def cmd_rollback(args) -> int:
     return 0
 
 
+def cmd_optimize(args) -> int:
+    from repro.core import build_dataset
+    from repro.core.optimize import generate_candidates, ranking_from_labels
+    from repro.hdl.generate import BENCHMARK_SPECS
+    from repro.optimize import (
+        SearchConfig,
+        replay_artifact,
+        replay_summary,
+        run_search,
+        write_artifact,
+    )
+    from repro.runtime.cache import ArtifactCache
+
+    if args.replay:
+        messages = replay_artifact(args.replay)
+        _emit(replay_summary(args.replay, messages), args.out)
+        return 0 if not messages else 1
+
+    budgets = args.budgets or [8, 24]
+    specs = BENCHMARK_SPECS[: args.designs]
+    report = report_mod.RuntimeReport(
+        meta={"command": "optimize", "designs": len(specs), "budgets": budgets}
+    )
+    cache = ArtifactCache()
+    rows: List[dict] = []
+    artifact_paths: List[str] = []
+    with report_mod.activate(report):
+        records = build_dataset(specs, report=report)
+        for record in records:
+            ranking = ranking_from_labels(record)
+            for budget in budgets:
+                config = SearchConfig.from_env(
+                    strategy=args.strategy,
+                    budget=budget,
+                    seed=args.seed,
+                    reanchor_every=args.reanchor,
+                )
+                candidates = None
+                if config.strategy == "sweep":
+                    candidates = generate_candidates(ranking, k=budget, seed=config.seed)
+                result = run_search(
+                    record, ranking, config, cache=cache, candidates=candidates
+                )
+                # The quality-vs-budget curve (extended Table 6): every row is
+                # deterministic for a fixed (seed, strategy, budget), so the CI
+                # optimize-smoke lane diffs two runs of this command verbatim.
+                rows.append(
+                    {
+                        "design": record.name,
+                        "strategy": config.strategy,
+                        "budget": budget,
+                        "seed": config.seed,
+                        "baseline_wns": round(result.baseline.wns, 6),
+                        "baseline_area": round(result.baseline.area, 6),
+                        "best_wns": round(result.best.wns, 6),
+                        "best_area": round(result.best.area, 6),
+                        "front_size": len(result.front),
+                        "front_hypervolume": round(result.front_hypervolume(), 6),
+                        "evals": result.accounting["evals"],
+                        "memo_hits": result.accounting["memo_hits"],
+                        "accepted": result.accounting["accepted"],
+                        "anchors": result.accounting["anchors"],
+                        "exhausted": result.accounting["exhausted"],
+                    }
+                )
+                if args.artifacts:
+                    artifact_paths.append(str(write_artifact(args.artifacts, result, record)))
+    payload = {
+        "schema": "repro-optimize-curve/1",
+        "strategy": rows[0]["strategy"] if rows else None,
+        "seed": args.seed,
+        "budgets": budgets,
+        "designs": [record.name for record in records],
+        "rows": rows,
+    }
+    if artifact_paths:
+        payload["artifacts"] = artifact_paths
+    _emit(payload, args.out)
+    _maybe_write_report(report, args.bench_out)
+    return 0
+
+
 def cmd_dataset(args) -> int:
     from repro.core import build_dataset, dataset_summary
     from repro.hdl.generate import BENCHMARK_SPECS
@@ -456,6 +538,23 @@ def build_parser() -> argparse.ArgumentParser:
     rollback.add_argument("--registry", default=None, help="registry dir (default $REPRO_MODEL_DIR)")
     rollback.add_argument("--out", default=None, help="write the JSON result here (default stdout)")
     rollback.set_defaults(handler=cmd_rollback)
+
+    from repro.optimize.search import STRATEGIES
+
+    optimize = subparsers.add_parser(
+        "optimize",
+        help="budget-bounded search over synthesis options on the what-if engine",
+    )
+    optimize.add_argument("--designs", type=_positive_int, default=2, help="number of benchmark designs (default 2)")
+    optimize.add_argument("--strategy", choices=list(STRATEGIES), default=None, help="search strategy (default $REPRO_OPT_STRATEGY or anneal)")
+    optimize.add_argument("--seed", type=int, default=0, help="search seed (default 0)")
+    optimize.add_argument("--budgets", type=_seed_list, default=None, help="comma-separated eval budgets for the quality-vs-budget curve (default 8,24)")
+    optimize.add_argument("--reanchor", type=int, default=None, help="full-synthesis re-anchor cadence (default $REPRO_OPT_REANCHOR or 8)")
+    optimize.add_argument("--artifacts", default=None, help="write one repro-optimize-run/1 artifact per campaign into this directory")
+    optimize.add_argument("--replay", default=None, help="replay a recorded repro-optimize-run/1 artifact and verify it reproduces")
+    optimize.add_argument("--out", default=None, help="write the JSON result here (default stdout)")
+    optimize.add_argument("--bench-out", default=None, help="write a BENCH_runtime.json report here")
+    optimize.set_defaults(handler=cmd_optimize)
 
     dataset = subparsers.add_parser("dataset", help="build the benchmark dataset and print its summary")
     dataset.add_argument("--designs", type=int, default=None, help="number of designs (default: all 21)")

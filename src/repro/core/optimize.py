@@ -20,24 +20,49 @@ Two experiment entry points build on this:
   promising candidate.  The result is an extended Table 6 row carrying the
   sweep metadata next to the usual percentage changes.
 
+The sweep's scoring loop is the ``sweep`` strategy of the search framework
+in :mod:`repro.optimize` — the same evaluator, Pareto bookkeeping and
+budget accounting that drive the ``anneal`` / ``evolution`` strategies of
+``python -m repro optimize`` (the open-ended quality-vs-budget extension of
+Table 6).
+
 Passing the ground-truth ranking instead of the predicted one gives the
 "Opt. w. Real" columns in both protocols.
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.dataset import DesignRecord
-from repro.core.metrics import DEFAULT_GROUP_FRACTIONS, group_boundaries
-from repro.incremental.whatif import WhatIfConfig, WhatIfEstimate, evaluate_candidates
-from repro.runtime.cache import ArtifactCache, code_fingerprint
+from repro.core.metrics import DEFAULT_GROUP_FRACTIONS
+from repro.incremental.whatif import WhatIfConfig, WhatIfEstimate
+from repro.optimize.search import SearchConfig, run_search
+from repro.optimize.space import (
+    cached_synthesize as _cached_synthesize_impl,
+    canonical_option_key,
+    options_from_ranking,
+    synthesis_key,
+)
+from repro.runtime.cache import ArtifactCache
 from repro.runtime.report import incr as _incr, stage as _stage
 from repro.sta.constraints import ClockConstraint
-from repro.synth.flow import SynthesisResult, synthesize_bog
-from repro.synth.optimizer import PathGroup, SynthesisOptions
+from repro.synth.flow import SynthesisResult
+from repro.synth.optimizer import SynthesisOptions
+
+__all__ = [
+    "CANDIDATE_GROUP_FRACTIONS",
+    "CANDIDATE_RETIME_FRACTIONS",
+    "OptimizationOutcome",
+    "canonical_option_key",
+    "generate_candidates",
+    "options_from_ranking",
+    "ranking_from_labels",
+    "run_optimization_experiment",
+    "run_optimization_sweep",
+    "summarize_outcomes",
+]
 
 
 @dataclass
@@ -113,40 +138,6 @@ def _relative_change_pct(default_value: float, optimized_value: float) -> float:
     return 100.0 * (optimized_value - default_value) / default_value
 
 
-def options_from_ranking(
-    ranked_signals: Sequence[str],
-    group_fractions: Sequence[float] = DEFAULT_GROUP_FRACTIONS,
-    retime_fraction: float = 0.05,
-    seed: int = 1,
-) -> SynthesisOptions:
-    """Build ``group_path`` + ``retime`` synthesis options from a ranking.
-
-    ``ranked_signals`` is ordered from most critical to least critical.  The
-    group split uses :func:`repro.core.metrics.group_boundaries`, the same
-    helper the annotation/metric grouping uses.
-    """
-    signals = list(ranked_signals)
-    n = len(signals)
-    if n == 0:
-        return SynthesisOptions(seed=seed)
-
-    boundaries = group_boundaries(n, group_fractions)
-    groups: List[PathGroup] = []
-    start = 0
-    for index, boundary in enumerate(boundaries + [n]):
-        members = signals[start:boundary]
-        if members:
-            groups.append(PathGroup(name=f"g{index + 1}", signals=members))
-        start = boundary
-
-    retime_count = max(1, int(round(retime_fraction * n)))
-    return SynthesisOptions(
-        path_groups=groups,
-        retime_signals=signals[:retime_count],
-        seed=seed,
-    )
-
-
 #: Group-fraction variations explored by the candidate generator: the
 #: paper's split first, then progressively wider/narrower critical groups.
 CANDIDATE_GROUP_FRACTIONS: Tuple[Tuple[float, ...], ...] = (
@@ -175,9 +166,11 @@ def generate_candidates(
     variations, starting from the paper's configuration, so candidate 0 of a
     ``k=1`` sweep is exactly the classic Table 6 option set.  Grid points
     whose *realized* options collapse to an already-generated candidate are
-    skipped (tiny rankings map many fraction tuples onto the same split), so
-    fewer than ``k`` candidates can come back — every one returned is a
-    genuinely distinct option set.
+    deduplicated by :func:`repro.optimize.space.canonical_option_key` — the
+    same key the search strategies memoize on — so a sweep or search budget
+    is never silently wasted re-scoring the same option set (tiny rankings
+    map many fraction tuples onto the same split, and fewer than ``k``
+    candidates can come back).
     """
     candidates: List[SynthesisOptions] = []
     seen: set = set()
@@ -195,10 +188,7 @@ def generate_candidates(
             retime_fraction=retime,
             seed=seed,
         )
-        key = (
-            tuple(options.retime_signals or ()),
-            tuple(tuple(group.signals) for group in options.path_groups or ()),
-        )
+        key = canonical_option_key(options)
         if key in seen:
             continue
         seen.add(key)
@@ -206,24 +196,11 @@ def generate_candidates(
     return candidates
 
 
-def _synthesis_key(record: DesignRecord, clock: ClockConstraint, options: SynthesisOptions, seed: int) -> str:
-    """Content-address of one synthesis run (same scheme as the dataset cache).
-
-    The key covers the design source, the clock, the full option set, the
-    seed and every build-relevant source file (via ``code_fingerprint``), so
-    an edit to the synthesis/STA code silently invalidates stale entries.
-    """
-    payload = "\n".join(
-        [
-            "synthesis-result/v1",
-            f"code={code_fingerprint()}",
-            f"source={record.source}",
-            f"clock={clock!r}",
-            f"options={options!r}",
-            f"seed={seed}",
-        ]
-    )
-    return hashlib.sha256(payload.encode()).hexdigest()
+def _synthesis_key(
+    record: DesignRecord, clock: ClockConstraint, options: SynthesisOptions, seed: int
+) -> str:
+    """Backward-compatible alias of :func:`repro.optimize.space.synthesis_key`."""
+    return synthesis_key(record, clock, options, seed)
 
 
 def _cached_synthesize(
@@ -233,12 +210,7 @@ def _cached_synthesize(
     seed: int,
     cache: Optional[ArtifactCache],
 ) -> SynthesisResult:
-    def builder() -> SynthesisResult:
-        return synthesize_bog(record.bogs["sog"], clock, options, seed=seed)
-
-    if cache is None:
-        return builder()
-    return cache.load_or_build(_synthesis_key(record, clock, options, seed), builder)
+    return _cached_synthesize_impl(record, clock, options, seed, cache)
 
 
 def ranking_from_labels(record: DesignRecord) -> List[str]:
@@ -260,7 +232,8 @@ def run_optimization_sweep(
     """Multi-candidate prediction-driven optimization for one design.
 
     Evaluates ``k`` candidate option sets with the incremental what-if
-    engine against the record's baseline synthesis, then runs the full flow
+    engine against the record's baseline synthesis (through the ``sweep``
+    strategy of :func:`repro.optimize.run_search`), then runs the full flow
     only for the default options and the best-scoring candidate.  With
     ``k=1`` this degenerates to the paper's two-synthesis protocol (the
     what-if projection is skipped entirely).
@@ -279,7 +252,20 @@ def run_optimization_sweep(
     chosen_index = 0
     if len(candidates) > 1:
         with _stage("optimize.whatif_sweep"):
-            estimates = evaluate_candidates(record, candidates, config=whatif_config)
+            search = run_search(
+                record,
+                ranked_signals,
+                config=SearchConfig(
+                    strategy="sweep",
+                    budget=len(candidates),
+                    seed=seed,
+                    reanchor_every=0,
+                ),
+                whatif_config=whatif_config,
+                cache=cache,
+                candidates=candidates,
+            )
+        estimates = search.estimates
         # Best projected timing: largest (least negative) TNS, then WNS.
         chosen_index = max(
             range(len(estimates)),
@@ -324,6 +310,14 @@ def run_optimization_experiment(
     )
 
 
+#: Keys always present in a :func:`summarize_outcomes` result.
+SUMMARY_KEYS: Tuple[str, ...] = tuple(
+    f"{prefix}_{metric}_pct"
+    for prefix in ("avg1", "avg2")
+    for metric in ("wns", "tns", "power", "area")
+)
+
+
 def summarize_outcomes(outcomes: Sequence[OptimizationOutcome]) -> Dict[str, float]:
     """Avg1/Avg2 aggregation of Table 6.
 
@@ -331,9 +325,13 @@ def summarize_outcomes(outcomes: Sequence[OptimizationOutcome]) -> Dict[str, flo
     ``avg2_*`` replaces non-optimized designs (where WNS or TNS degraded) with
     the default flow (zero change), matching the paper's practice of running
     both flows concurrently and keeping the better one.
+
+    The result is well-defined on an empty outcome list: every ``avg*`` key
+    is present with value 0.0 and ``n_designs`` is 0, so table assembly
+    never trips over a missing key or a division by zero.
     """
     if not outcomes:
-        return {}
+        return {**{key: 0.0 for key in SUMMARY_KEYS}, "n_designs": 0.0}
 
     def mean(values: List[float]) -> float:
         return sum(values) / len(values)
@@ -350,4 +348,4 @@ def summarize_outcomes(outcomes: Sequence[OptimizationOutcome]) -> Dict[str, flo
         "avg2_power_pct": mean([o.power_change_pct if o.improved else 0.0 for o in outcomes]),
         "avg2_area_pct": mean([o.area_change_pct if o.improved else 0.0 for o in outcomes]),
     }
-    return {**avg1, **avg2}
+    return {**avg1, **avg2, "n_designs": float(len(outcomes))}

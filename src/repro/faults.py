@@ -48,6 +48,10 @@ Differential (silent wrong answers, each caught by a fuzz oracle):
 * ``simulate.packed_and`` — the bit-packed simulator evaluates AND nodes as
   OR, diverging from the scalar evaluator (caught by
   ``packed_vs_scalar_sim``).
+* ``optimize.dominance`` — :meth:`repro.optimize.pareto.ParetoFront.insert`
+  stops filtering dominated points, so the search returns fronts containing
+  points beaten by the default-options baseline or by each other (caught by
+  ``optimize_search``).
 
 Availability (crashes and slowdowns, each survived by the serving runtime):
 
@@ -96,6 +100,7 @@ FAULT_REGISTRY: Dict[str, str] = {
     "gbm.hist_threshold": "histogram splitter nudges chosen cut thresholds upward",
     "sta.array_delay": "array STA kernel perturbs gate arrivals by 1e-6",
     "simulate.packed_and": "bit-packed simulator evaluates AND as OR",
+    "optimize.dominance": "Pareto front keeps dominated points (filter disabled)",
     "worker.crash": "serve pool worker os._exit()s mid-request",
     "worker.hang": "serve pool worker sleeps forever inside a request",
     "worker.slow_io": "serve pool worker sleeps briefly before answering",

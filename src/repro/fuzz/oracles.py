@@ -20,7 +20,11 @@ violation messages (empty list == clean):
   per-vertex reference kernel, bit for bit, on pseudo networks with
   randomized derates and wire loads;
 * ``packed_vs_scalar_sim`` — uint64 bit-packed batch simulation against the
-  scalar evaluator, lane by lane, on every BOG variant.
+  scalar evaluator, lane by lane, on every BOG variant;
+* ``optimize_search`` — the search-based optimizer: replay determinism of a
+  random short campaign, accepted-candidate scores against a from-scratch
+  re-analysis, and Pareto-front dominance integrity through the pure
+  predicate (catches the ``optimize.dominance`` fault).
 
 A :class:`FuzzContext` lazily shares the expensive artifacts (analyzed
 design, BOG variants, full DesignRecord) between the oracles of one design.
@@ -47,12 +51,18 @@ from repro.bog.simulate import (
 from repro.bog.transforms import build_variants
 from repro.core.dataset import DesignRecord, build_design_record
 from repro.core.features import extract_path_dataset
+from repro.core.optimize import ranking_from_labels
 from repro.fuzz.corpus import FuzzDesign
 from repro.hdl.design import Design
 from repro.hdl.interpret import Interpreter
 from repro.incremental.engine import IncrementalSTA
 from repro.incremental.patches import AddExtraLoad, RewireFanins, SetDerate, SwapCell
+from repro.incremental.whatif import WhatIfConfig, patches_for_options
 from repro.ml.tree import DecisionTreeRegressor, NewtonTreeRegressor, resolve_max_bins
+from repro.optimize.artifact import canonical_payload
+from repro.optimize.pareto import dominates
+from repro.optimize.search import SearchConfig, run_search
+from repro.optimize.space import CandidateSpec
 from repro.runtime.cache import ArtifactCache, record_fingerprint
 from repro.runtime.parallel import parallel_build_records
 from repro.sta.constraints import ClockConstraint
@@ -408,6 +418,112 @@ def packed_vs_scalar_sim(
     return problems
 
 
+def optimize_search(ctx: FuzzContext, rng: random.Random) -> List[str]:
+    """Search-based optimizer: determinism, score honesty, front integrity.
+
+    Three contracts on one short random campaign:
+
+    * two runs of the same ``(seed, strategy, budget)`` serialize
+      byte-identical canonical payloads (replay determinism);
+    * every accepted candidate's logged incremental score is reproduced by a
+      fresh engine *and* agrees with a from-scratch full re-analysis of the
+      same patched netlist to ``STA_TOLERANCE`` (the incremental-vs-full
+      contract the search budget rests on);
+    * the returned Pareto front, audited through the *pure*
+      :func:`repro.optimize.pareto.dominates`, contains no point beaten by
+      the default-options baseline and no dominated pair — this is the check
+      that catches the ``optimize.dominance`` fault.
+    """
+    record = ctx.record
+    ranking = ranking_from_labels(record)
+    if not ranking:
+        return []
+    strategy = rng.choice(("anneal", "evolution"))
+    config = SearchConfig(
+        strategy=strategy, budget=8, seed=rng.randrange(1 << 16), reanchor_every=4
+    )
+    cache = ArtifactCache(enabled=False)
+    first = run_search(record, ranking, config, cache=cache)
+    second = run_search(record, ranking, config, cache=cache)
+    problems: List[str] = []
+    if canonical_payload(first) != canonical_payload(second):
+        problems.append(
+            f"{strategy} campaign (seed {config.seed}, budget {config.budget}): "
+            f"two runs of the same (seed, strategy, budget) produce different "
+            f"canonical payloads — search is not replay-deterministic"
+        )
+        return problems
+
+    # Score honesty: re-derive up to four accepted moves from their logged
+    # specs and re-time them both incrementally and from scratch.
+    netlist = record.synthesis.netlist
+    baseline_report = record.synthesis.report
+    whatif_config = WhatIfConfig()
+    checked = 0
+    for entry in first.trajectory:
+        if entry.kind != "eval" or not entry.accepted or entry.spec is None:
+            continue
+        spec = CandidateSpec.from_dict(entry.spec)
+        options = spec.realize(ranking, seed=config.seed)
+        patches = patches_for_options(netlist, baseline_report, options, whatif_config)
+        if patches:
+            engine = IncrementalSTA(netlist, record.clock, baseline=baseline_report)
+            with engine.what_if(patches) as incremental:
+                full = sta_analyze(netlist, record.clock)
+                worst = float(
+                    np.max(np.abs(incremental.arrivals - full.arrivals), initial=0.0)
+                )
+                worst = max(
+                    worst,
+                    abs(incremental.wns - full.wns),
+                    abs(incremental.tns - full.tns),
+                )
+                wns, tns = float(incremental.wns), float(incremental.tns)
+            if worst > STA_TOLERANCE:
+                problems.append(
+                    f"accepted candidate at step {entry.step}: incremental score "
+                    f"diverges from full re-analysis by {worst:.3e} "
+                    f"(> {STA_TOLERANCE}) over {len(patches)} patches"
+                )
+        else:
+            wns = float(baseline_report.wns)
+            tns = float(baseline_report.tns)
+        if abs(wns - entry.wns) > STA_TOLERANCE or abs(tns - entry.tns) > STA_TOLERANCE:
+            problems.append(
+                f"accepted candidate at step {entry.step}: logged score "
+                f"({entry.wns:.9f}/{entry.tns:.9f}) does not match the re-derived "
+                f"score ({wns:.9f}/{tns:.9f})"
+            )
+        checked += 1
+        if checked >= 4 or problems:
+            break
+    if problems:
+        return problems
+
+    # Front integrity via the pure dominance predicate (the fault tooth only
+    # disables filtering inside ``ParetoFront.insert``, never this check).
+    points = first.front.points
+    for point in points:
+        if point.key != first.baseline.key and dominates(first.baseline, point):
+            problems.append(
+                f"front point {point.key[:12]} (wns={point.wns:.4f}, "
+                f"area={point.area:.2f}) is dominated by the default-options "
+                f"baseline (wns={first.baseline.wns:.4f}, "
+                f"area={first.baseline.area:.2f})"
+            )
+    for i, a in enumerate(points):
+        for b in points[i + 1 :]:
+            if dominates(a, b) or dominates(b, a):
+                problems.append(
+                    f"front keeps a dominated pair: {a.key[:12]} "
+                    f"(wns={a.wns:.4f}, area={a.area:.2f}) vs {b.key[:12]} "
+                    f"(wns={b.wns:.4f}, area={b.area:.2f})"
+                )
+        if problems:
+            break
+    return problems
+
+
 #: Registry: oracle name -> callable.  ``DEFAULT_CADENCE`` spaces out the
 #: oracles whose cost is a full extra record build.
 ORACLES: Dict[str, OracleFn] = {
@@ -418,6 +534,7 @@ ORACLES: Dict[str, OracleFn] = {
     "parallel_vs_serial": parallel_vs_serial,
     "array_vs_reference_sta": array_vs_reference_sta,
     "packed_vs_scalar_sim": packed_vs_scalar_sim,
+    "optimize_search": optimize_search,
 }
 
 DEFAULT_CADENCE: Dict[str, int] = {
@@ -428,4 +545,5 @@ DEFAULT_CADENCE: Dict[str, int] = {
     "parallel_vs_serial": 12,
     "array_vs_reference_sta": 1,
     "packed_vs_scalar_sim": 1,
+    "optimize_search": 3,
 }

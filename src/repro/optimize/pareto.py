@@ -1,0 +1,137 @@
+"""Delay-vs-area Pareto front with deterministic dominance/tie-breaking.
+
+Two objectives: maximize WNS (delay quality) and minimize area.  TNS rides
+along as a reporting field but does not participate in dominance — the
+front stays 2-D so its shape matches the extended Table 6 curve.
+
+Determinism contract: points are kept sorted by ``(-wns, area, step)`` and
+an incoming point that *equals* an existing one on both objectives is
+rejected (first-seen wins), so the front of a replayed run is byte-identical
+to the recorded one regardless of insertion timing.
+
+The dominance filter carries the ``optimize.dominance`` fault tooth: with
+``REPRO_FAULT_INJECT=optimize.dominance`` the filter is disabled and
+dominated points accumulate, which the fuzz oracle must catch (and shrink)
+via the pure :func:`dominates` predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.faults import fault_active
+
+#: Fault tooth: disables dominated-point filtering inside ParetoFront.insert.
+DOMINANCE_FAULT = "optimize.dominance"
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate on (or submitted to) the delay-vs-area front."""
+
+    wns: float
+    tns: float
+    area: float
+    key: str  # canonical option key ("baseline" for the default options)
+    source: str = "eval"  # "baseline" | "eval" | "anchor"
+    step: int = -1  # trajectory step that produced the point
+
+    def to_dict(self) -> dict:
+        return {
+            "wns": self.wns,
+            "tns": self.tns,
+            "area": self.area,
+            "key": self.key,
+            "source": self.source,
+            "step": self.step,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ParetoPoint":
+        return cls(
+            wns=float(payload["wns"]),
+            tns=float(payload["tns"]),
+            area=float(payload["area"]),
+            key=str(payload["key"]),
+            source=str(payload["source"]),
+            step=int(payload["step"]),
+        )
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """True when ``a`` is at least as good as ``b`` on both objectives and
+    strictly better on one.  Pure — no fault hook — so the differential
+    oracle can use it to audit a front built by the (faultable) filter.
+    """
+    if a.wns < b.wns or a.area > b.area:
+        return False
+    return a.wns > b.wns or a.area < b.area
+
+
+class ParetoFront:
+    """Mutable non-dominated set with deterministic ordering."""
+
+    def __init__(self, points: Optional[Sequence[ParetoPoint]] = None) -> None:
+        self.points: List[ParetoPoint] = list(points or [])
+        self._sort()
+
+    def _sort(self) -> None:
+        self.points.sort(key=lambda p: (-p.wns, p.area, p.step))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def insert(self, point: ParetoPoint) -> bool:
+        """Add ``point`` unless dominated (or duplicated); drop what it
+        dominates.  Returns True when the point entered the front.
+        """
+        duplicate = any(p.wns == point.wns and p.area == point.area for p in self.points)
+        if fault_active(DOMINANCE_FAULT):
+            # Fault tooth: the dominance filter is disabled, every distinct
+            # point accumulates and dominated pairs survive for the oracle.
+            if duplicate:
+                return False
+            self.points.append(point)
+            self._sort()
+            return True
+        if duplicate or any(dominates(p, point) for p in self.points):
+            return False
+        self.points = [p for p in self.points if not dominates(point, p)]
+        self.points.append(point)
+        self._sort()
+        return True
+
+    def best_wns(self) -> Optional[ParetoPoint]:
+        return self.points[0] if self.points else None
+
+    def to_dicts(self) -> List[dict]:
+        return [p.to_dict() for p in self.points]
+
+
+def reference_point(baseline: ParetoPoint, period: float) -> Tuple[float, float]:
+    """Deterministic hypervolume reference, anchored on the baseline run:
+    one tenth of a clock period worse in WNS, 25 % more area.
+    """
+    return (baseline.wns - 0.1 * period, baseline.area * 1.25)
+
+
+def hypervolume(points: Sequence[ParetoPoint], reference: Tuple[float, float]) -> float:
+    """2-D dominated hypervolume of a non-dominated set vs ``reference``.
+
+    Standard staircase sum: walk the front best-WNS-first; each point adds
+    the rectangle between its WNS and the reference WNS over the area band
+    it improves.  Points outside the reference box contribute nothing.
+    """
+    ref_wns, ref_area = reference
+    volume = 0.0
+    remaining_area = ref_area
+    for point in sorted(points, key=lambda p: (-p.wns, p.area)):
+        if point.wns <= ref_wns or point.area >= remaining_area:
+            continue
+        volume += (point.wns - ref_wns) * (remaining_area - point.area)
+        remaining_area = point.area
+    return volume

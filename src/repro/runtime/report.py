@@ -43,6 +43,19 @@ REPORT_SCHEMA = "repro-bench-runtime/1"
 WHATIF_SWEEP_STAGE = "incremental.whatif_sweep"
 FULL_RESYNTHESIS_STAGE = "incremental.full_resynthesis"
 
+#: Stage names of the search-based optimizer (:mod:`repro.optimize`).
+#: ``optimize.search`` wraps a whole campaign; ``optimize.score`` is the
+#: pure incremental-scoring time (all evaluations), ``optimize.score_accepted``
+#: the slice of it spent on accepted moves, ``optimize.anchor_synthesis`` the
+#: re-anchoring ground-truth syntheses, and ``optimize.full_resynthesis`` is
+#: recorded by the benchmark harness when it re-scores the same accepted
+#: candidates by full synthesis to measure ``optimize_sweep_speedup``.
+OPT_SEARCH_STAGE = "optimize.search"
+OPT_SCORE_STAGE = "optimize.score"
+OPT_SCORE_ACCEPTED_STAGE = "optimize.score_accepted"
+OPT_ANCHOR_STAGE = "optimize.anchor_synthesis"
+OPT_FULL_RESYNTHESIS_STAGE = "optimize.full_resynthesis"
+
 
 @dataclass
 class RuntimeReport:
@@ -158,6 +171,15 @@ class RuntimeReport:
         if serve_requests and serve_batches:
             # Realized micro-batch size of the serving layer (1.0 = no fusion).
             derived["serve_batch_size"] = round(serve_requests / serve_batches, 2)
+        optimize_evals = self.counters.get("optimize_evals", 0)
+        score_seconds = self.stages.get(OPT_SCORE_STAGE, 0.0)
+        if optimize_evals and score_seconds > 0.0:
+            derived["optimize_evals_per_second"] = round(optimize_evals / score_seconds, 2)
+        accepted_seconds = self.stages.get(OPT_SCORE_ACCEPTED_STAGE, 0.0)
+        full_seconds = self.stages.get(OPT_FULL_RESYNTHESIS_STAGE, 0.0)
+        if accepted_seconds > 0.0 and full_seconds > 0.0:
+            # Incremental scoring of accepted candidates vs synthesizing them.
+            derived["optimize_sweep_speedup"] = round(full_seconds / accepted_seconds, 2)
         return {
             "schema": REPORT_SCHEMA,
             "generated_at": time.time(),

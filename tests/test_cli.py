@@ -26,6 +26,7 @@ SUBCOMMANDS = (
     "retrain",
     "promote",
     "rollback",
+    "optimize",
     "dataset",
     "fuzz",
 )

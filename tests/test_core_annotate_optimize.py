@@ -258,3 +258,31 @@ class TestOptimizationSweep:
             assert outcome.tns_change_pct < 0
         else:
             assert outcome.tns_change_pct >= 0
+
+
+class TestSummaryAndDedupeRegressions:
+    """Regressions for satellite fixes: canonical-key dedupe in
+    ``generate_candidates`` and empty-safe ``summarize_outcomes``."""
+
+    def test_generate_candidates_dedupe_uses_canonical_keys(self):
+        from repro.core.optimize import canonical_option_key
+
+        ranking = [f"sig{i}" for i in range(40)]
+        candidates = generate_candidates(ranking, k=24)
+        keys = [canonical_option_key(options) for options in candidates]
+        assert len(keys) == len(set(keys))
+        # The canonical key is the same dedupe notion the search memoizes
+        # on, so a grid candidate can never double-spend search budget.
+        tiny = generate_candidates(["a", "b"], k=32)
+        tiny_keys = [canonical_option_key(options) for options in tiny]
+        assert len(tiny_keys) == len(set(tiny_keys))
+
+    def test_summarize_outcomes_empty_is_well_defined(self):
+        from repro.core.optimize import SUMMARY_KEYS
+
+        summary = summarize_outcomes([])
+        assert summary["n_designs"] == 0.0
+        for key in SUMMARY_KEYS:
+            assert summary[key] == 0.0
+        # Same schema as the non-empty aggregation.
+        assert set(summary) == set(SUMMARY_KEYS) | {"n_designs"}

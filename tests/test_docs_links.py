@@ -21,6 +21,7 @@ DOC_FILES = (
     "docs/api.md",
     "docs/serving.md",
     "docs/operations.md",
+    "docs/optimization.md",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -185,3 +186,34 @@ def test_api_doc_matches_cli_subcommands():
     )
     for name in subparsers.choices:
         assert f"`{name}`" in api, f"docs/api.md does not document the {name} subcommand"
+
+
+def test_optimization_doc_covers_every_opt_knob():
+    """The optimizer page documents every ``REPRO_OPT_*`` knob, the fault
+    tooth and the artifact schema; serving.md's knob index points at them."""
+    optimization = (REPO_ROOT / "docs/optimization.md").read_text()
+    serving = (REPO_ROOT / "docs/serving.md").read_text()
+    from repro.optimize.artifact import OPTIMIZE_RUN_SCHEMA
+    from repro.optimize.pareto import DOMINANCE_FAULT
+    from repro.optimize.search import (
+        OPT_AREA_WEIGHT_ENV_VAR,
+        OPT_BUDGET_ENV_VAR,
+        OPT_REANCHOR_ENV_VAR,
+        OPT_STRATEGY_ENV_VAR,
+        STRATEGIES,
+    )
+
+    for variable in (
+        OPT_STRATEGY_ENV_VAR,
+        OPT_BUDGET_ENV_VAR,
+        OPT_REANCHOR_ENV_VAR,
+        OPT_AREA_WEIGHT_ENV_VAR,
+    ):
+        assert variable in optimization, f"docs/optimization.md does not document {variable}"
+        assert variable in serving, f"docs/serving.md knob index misses {variable}"
+    for strategy in STRATEGIES:
+        assert f"`{strategy}`" in optimization, (
+            f"docs/optimization.md does not document the {strategy} strategy"
+        )
+    assert OPTIMIZE_RUN_SCHEMA in optimization
+    assert DOMINANCE_FAULT in optimization

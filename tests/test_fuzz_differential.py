@@ -33,6 +33,7 @@ from repro.fuzz.oracles import (
     hist_vs_exact_gbm,
     incremental_vs_full,
     interpret_vs_simulate,
+    optimize_search,
     packed_vs_scalar_sim,
 )
 from repro.fuzz.runner import (
@@ -271,6 +272,59 @@ class TestFaultInjection:
         for field in ("stages", "regs_per_stage", "data_width", "expr_depth", "control_regs"):
             assert shrunk_spec[field] <= original_spec[field]
         assert shrunk["register_bits"] <= 4, "shrinker should reach a near-minimal design"
+
+        # Replay reproduces under the fault and clears without it.
+        assert replay_bundle(result.bundle_paths[0])
+        monkeypatch.delenv(FAULT_ENV_VAR)
+        assert replay_bundle(result.bundle_paths[0]) == []
+
+    def test_optimize_oracle_registered_and_clean(self):
+        assert "optimize_search" in ORACLES
+        assert DEFAULT_CADENCE["optimize_search"] >= 1
+        fuzz = generate_fuzz_design(design_seed_for(0, 0), "tiny")
+        assert optimize_search(FuzzContext(fuzz), random.Random(11)) == []
+
+    def test_optimize_dominance_fault_caught(self, monkeypatch):
+        """The fault tooth: dominated points survive insertion and the
+        oracle's pure-predicate audit flags them (determinism is unaffected,
+        which is what makes the failure shrinkable)."""
+        fuzz = generate_fuzz_design(design_seed_for(0, 0), "tiny")
+        assert optimize_search(FuzzContext(fuzz), random.Random(0)) == []
+        monkeypatch.setenv(FAULT_ENV_VAR, "optimize.dominance")
+        broken = optimize_search(FuzzContext(fuzz), random.Random(0))
+        assert broken, "disabled dominance filtering must be detected"
+        assert any("dominated" in message for message in broken)
+
+    def test_optimize_dominance_campaign_catches_shrinks_and_bundles(
+        self, tmp_path, monkeypatch
+    ):
+        """End-to-end for the optimizer fault: violation -> shrink -> bundle."""
+        monkeypatch.setenv(FAULT_ENV_VAR, "optimize.dominance")
+        config = _tiny_campaign(
+            tmp_path,
+            iterations=2,
+            checks=("optimize_search",),
+            cadence={"optimize_search": 1},
+            shrink=True,
+            max_shrink_trials=16,
+            stop_on_first=True,
+        )
+        result = run_campaign(config)
+        assert not result.ok
+        assert result.violations[0].oracle == "optimize_search"
+        assert "dominated" in result.violations[0].message
+        assert len(result.bundle_paths) == 1
+
+        payload = json.loads(
+            (tmp_path / "bundle_seed0_optimize_search.json").read_text()
+        )
+        assert payload["schema"] == BUNDLE_SCHEMA
+        assert payload["environment"]["fault_inject"] == "optimize.dominance"
+        shrunk = payload["shrunk"]
+        assert shrunk["messages"], "the shrunk design must still fail"
+        original_spec, shrunk_spec = payload["spec"], shrunk["spec"]
+        for field in ("stages", "regs_per_stage", "data_width", "expr_depth", "control_regs"):
+            assert shrunk_spec[field] <= original_spec[field]
 
         # Replay reproduces under the fault and clears without it.
         assert replay_bundle(result.bundle_paths[0])
